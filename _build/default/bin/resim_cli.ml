@@ -1,0 +1,338 @@
+(* resim — command-line front end.
+
+   Subcommands:
+     tracegen   generate a binary trace from a built-in kernel
+     simulate   run the timing engine on a trace file or kernel
+     area       evaluate the FPGA area model
+     schedule   render a minor-cycle schedule (Figures 2-4)
+     table      regenerate one of the paper's tables
+     workloads  list the built-in kernels *)
+
+open Cmdliner
+
+let kernel_conv =
+  let parse name =
+    match Resim_workloads.Workload.find name with
+    | workload -> Ok workload
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown kernel %S (try: %s)" name
+                (String.concat ", " Resim_workloads.Workload.names)))
+  in
+  let print ppf workload =
+    Format.pp_print_string ppf (Resim_workloads.Workload.name_of workload)
+  in
+  Arg.conv (parse, print)
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt kernel_conv (Resim_workloads.Workload.find "gzip")
+    & info [ "k"; "kernel" ] ~docv:"KERNEL"
+        ~doc:"Built-in kernel (gzip, bzip2, parser, vortex, vpr).")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "s"; "scale" ] ~docv:"N" ~doc:"Kernel scale (input size).")
+
+let organization_conv =
+  let parse = function
+    | "simple" -> Ok Resim_core.Config.Simple
+    | "improved" -> Ok Resim_core.Config.Improved
+    | "optimized" -> Ok Resim_core.Config.Optimized
+    | other ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown organization %S (simple|improved|optimized)" other))
+  in
+  let print ppf organization =
+    Format.pp_print_string ppf
+      (Resim_core.Config.organization_name organization)
+  in
+  Arg.conv (parse, print)
+
+let width_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "w"; "width" ] ~docv:"N" ~doc:"Issue width of the processor.")
+
+let program_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "p"; "program" ] ~docv:"FILE.s"
+        ~doc:"Assemble and use a textual assembly file instead of a \
+              built-in kernel.")
+
+let program_of ?source_file workload scale =
+  match source_file with
+  | Some path -> Resim_isa.Parser.parse_file path
+  | None -> (
+      match scale with
+      | Some scale -> Resim_workloads.Workload.program_of workload ~scale ()
+      | None -> Resim_workloads.Workload.program_of workload ())
+
+(* --- tracegen ----------------------------------------------------- *)
+
+let tracegen workload scale source_file output compact =
+  let program = program_of ?source_file workload scale in
+  let generated = Resim_tracegen.Generator.run program in
+  let format =
+    if compact then Resim_trace.Codec.Compact else Resim_trace.Codec.Fixed
+  in
+  Resim_trace.Codec.write_file ~format output generated.records;
+  Format.printf
+    "wrote %s: %d records (%d correct, %d wrong-path), %.2f bits/instr@."
+    output
+    (Array.length generated.records)
+    generated.correct_path generated.wrong_path
+    (Resim_trace.Codec.bits_per_instruction ~format generated.records)
+
+let tracegen_cmd =
+  let output =
+    Arg.(
+      value & opt string "kernel.trace"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ] ~doc:"Use the delta-compressed encoding.")
+  in
+  Cmd.v
+    (Cmd.info "tracegen" ~doc:"Generate a binary trace from a kernel")
+    Term.(
+      const tracegen $ kernel_arg $ scale_arg $ program_arg $ output
+      $ compact)
+
+(* --- simulate ------------------------------------------------------ *)
+
+let simulate workload scale source_file trace_file perfect_bp caches =
+  let records =
+    match trace_file with
+    | Some path ->
+        let records, _format = Resim_trace.Codec.read_file path in
+        records
+    | None ->
+        let program = program_of ?source_file workload scale in
+        Resim_tracegen.Generator.records program
+  in
+  let config =
+    let base = Resim_core.Config.reference in
+    let base =
+      if perfect_bp then
+        { base with predictor = Resim_bpred.Predictor.perfect_config }
+      else base
+    in
+    if caches then
+      { base with
+        icache = Resim_cache.Cache.l1_32k_8way_64b;
+        dcache = Resim_cache.Cache.l1_32k_8way_64b }
+    else base
+  in
+  let outcome = Resim_core.Resim.simulate_trace ~config records in
+  Format.printf "%a@.@." Resim_core.Resim.pp_outcome outcome;
+  List.iter
+    (fun device ->
+      Format.printf "%-10s %.2f MIPS@." device.Resim_fpga.Device.name
+        (Resim_core.Resim.mips outcome ~device))
+    Resim_fpga.Device.all
+
+let simulate_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "t"; "trace" ] ~docv:"FILE"
+          ~doc:"Simulate a trace file instead of a kernel.")
+  in
+  let perfect_bp =
+    Arg.(value & flag & info [ "perfect-bp" ] ~doc:"Oracle predictor.")
+  in
+  let caches =
+    Arg.(
+      value & flag
+      & info [ "caches" ] ~doc:"32KB 8-way L1 caches instead of perfect \
+                                memory.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the ReSim timing engine")
+    Term.(
+      const simulate $ kernel_arg $ scale_arg $ program_arg $ trace_file
+      $ perfect_bp $ caches)
+
+(* --- area ----------------------------------------------------------- *)
+
+let area width rob lsq =
+  let params =
+    { Resim_fpga.Area.reference_params with
+      width;
+      ifq_entries = width;
+      decouple_entries = width;
+      rob_entries = rob;
+      lsq_entries = lsq }
+  in
+  let report = Resim_fpga.Area.estimate params in
+  Format.printf "%a@.@." Resim_fpga.Area.pp_report report;
+  List.iter
+    (fun device ->
+      Format.printf "%-10s fits %d instance(s)@."
+        device.Resim_fpga.Device.name
+        (Resim_fpga.Area.instances_fitting report device))
+    Resim_fpga.Device.all
+
+let area_cmd =
+  let rob =
+    Arg.(value & opt int 16 & info [ "rob" ] ~docv:"N" ~doc:"ROB entries.")
+  in
+  let lsq =
+    Arg.(value & opt int 8 & info [ "lsq" ] ~docv:"N" ~doc:"LSQ entries.")
+  in
+  Cmd.v
+    (Cmd.info "area" ~doc:"Evaluate the FPGA area model")
+    Term.(const area $ width_arg $ rob $ lsq)
+
+(* --- schedule -------------------------------------------------------- *)
+
+let schedule organization width =
+  let schedule = Resim_core.Minor_cycle.build organization ~width in
+  print_string (Resim_core.Minor_cycle.render schedule)
+
+let schedule_cmd =
+  let organization =
+    Arg.(
+      value
+      & opt organization_conv Resim_core.Config.Optimized
+      & info [ "org" ] ~docv:"ORG"
+          ~doc:"Internal organization: simple, improved or optimized.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Render a minor-cycle schedule (Figs. 2-4)")
+    Term.(const schedule $ organization $ width_arg)
+
+(* --- table ----------------------------------------------------------- *)
+
+let table number =
+  let ppf = Format.std_formatter in
+  match number with
+  | 1 -> Resim_reports.Table1.print ppf; Format.printf "@."
+  | 2 -> Resim_reports.Table2.print ppf; Format.printf "@."
+  | 3 -> Resim_reports.Table3.print ppf; Format.printf "@."
+  | 4 -> Resim_reports.Table4.print ppf; Format.printf "@."
+  | n ->
+      Format.eprintf "no such table: %d (1-4)@." n;
+      exit 1
+
+let table_cmd =
+  let number =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Table number (1-4).")
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate one of the paper's tables")
+    Term.(const table $ number)
+
+(* --- ptrace ----------------------------------------------------------- *)
+
+let ptrace workload scale source_file window =
+  let program = program_of ?source_file workload scale in
+  let records = Resim_tracegen.Generator.records program in
+  let engine = Resim_core.Engine.create records in
+  let trace = Resim_core.Pipeline_trace.create ~window engine in
+  Resim_core.Pipeline_trace.run trace;
+  print_string (Resim_core.Pipeline_trace.render trace)
+
+let ptrace_cmd =
+  let window =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"N"
+          ~doc:"How many instructions to trace from the start.")
+  in
+  Cmd.v
+    (Cmd.info "ptrace"
+       ~doc:"Render a per-instruction pipeline Gantt chart (ptrace \
+             analog)")
+    Term.(const ptrace $ kernel_arg $ scale_arg $ program_arg $ window)
+
+(* --- vhdl ------------------------------------------------------------- *)
+
+let vhdl width rob lsq output_dir =
+  let config =
+    { Resim_core.Config.reference with
+      width;
+      ifq_entries = width;
+      decouple_entries = width;
+      alu_count = width;
+      rob_entries = rob;
+      lsq_entries = lsq;
+      mem_read_ports = max 1 ((width - 1) / 2);
+      mem_write_ports = 1;
+      organization =
+        (if width >= 3 then Resim_core.Config.Optimized
+         else Resim_core.Config.Improved) }
+  in
+  let paths = Resim_vhdlgen.Core_gen.write_all ~dir:output_dir config in
+  List.iter (fun path -> Format.printf "wrote %s@." path) paths
+
+let vhdl_cmd =
+  let rob =
+    Arg.(value & opt int 16 & info [ "rob" ] ~docv:"N" ~doc:"ROB entries.")
+  in
+  let lsq =
+    Arg.(value & opt int 8 & info [ "lsq" ] ~docv:"N" ~doc:"LSQ entries.")
+  in
+  let output_dir =
+    Arg.(
+      value & opt string "vhdl"
+      & info [ "o"; "output-dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "vhdl"
+       ~doc:"Generate the parametric VHDL bundle (params + predictor)")
+    Term.(const vhdl $ width_arg $ rob $ lsq $ output_dir)
+
+(* --- disasm ----------------------------------------------------------- *)
+
+let disasm workload scale source_file =
+  let program = program_of ?source_file workload scale in
+  print_string (Resim_isa.Disasm.program program)
+
+let disasm_cmd =
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Disassemble a kernel or assembly file to parser syntax")
+    Term.(const disasm $ kernel_arg $ scale_arg $ program_arg)
+
+(* --- workloads ------------------------------------------------------- *)
+
+let workloads () =
+  List.iter
+    (fun workload ->
+      Format.printf "%-8s %s@."
+        (Resim_workloads.Workload.name_of workload)
+        (Resim_workloads.Workload.description_of workload))
+    (Resim_workloads.Workload.all @ Resim_workloads.Workload.extended)
+
+let workloads_cmd =
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the built-in kernels")
+    Term.(const workloads $ const ())
+
+let () =
+  let info =
+    Cmd.info "resim" ~version:Resim_core.Resim.version
+      ~doc:"Trace-driven ILP processor timing simulation (DATE 2009 \
+            reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ tracegen_cmd; simulate_cmd; area_cmd; schedule_cmd; table_cmd;
+            disasm_cmd; vhdl_cmd; ptrace_cmd; workloads_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_asm.ml: Format List Resim_core Resim_fpga Resim_isa Resim_trace Resim_tracegen

@@ -1,0 +1,1 @@
+examples/multicore_sim.ml: Format List Resim_core Resim_fpga Resim_multicore Resim_tracegen Resim_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Format List Reg Resim_core Resim_fpga Resim_isa Resim_tracegen

@@ -1,0 +1,1 @@
+examples/trace_inspection.ml: Array Filename Format List Resim_trace Resim_tracegen Resim_workloads Seq Sys Unix

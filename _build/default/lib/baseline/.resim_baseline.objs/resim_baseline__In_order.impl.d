@@ -1,0 +1,1 @@
+lib/baseline/in_order.ml: Array Int64 Resim_cache Resim_trace

@@ -1,0 +1,1 @@
+lib/baseline/in_order.mli: Resim_cache Resim_trace

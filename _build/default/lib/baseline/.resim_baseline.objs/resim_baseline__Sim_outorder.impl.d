@@ -1,0 +1,1 @@
+lib/baseline/sim_outorder.ml: Resim_core Resim_isa Resim_tracegen

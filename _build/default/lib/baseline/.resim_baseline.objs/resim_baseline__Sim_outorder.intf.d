@@ -1,0 +1,1 @@
+lib/baseline/sim_outorder.mli: Resim_core Resim_isa

@@ -1,0 +1,72 @@
+type config = {
+  load_use_stall : int;
+  mult_stall : int;
+  div_stall : int;
+  taken_branch_bubble : int;
+  mispredict_penalty : int;
+  miss_latency : int;
+  dcache : Resim_cache.Cache.config;
+}
+
+let default_config =
+  { load_use_stall = 1;
+    mult_stall = 2;
+    div_stall = 9;
+    taken_branch_bubble = 1;
+    mispredict_penalty = 3;
+    miss_latency = 18;
+    dcache = Resim_cache.Cache.Perfect }
+
+type result = { instructions : int64; cycles : int64; ipc : float }
+
+let simulate ?(config = default_config) records =
+  let dcache = Resim_cache.Cache.create config.dcache in
+  let cycles = ref 0L in
+  let instructions = ref 0L in
+  let add n = cycles := Int64.add !cycles (Int64.of_int n) in
+  (* Destination register of the previous instruction if it was a load,
+     for load-use detection. *)
+  let pending_load_dest = ref 0 in
+  let in_wrong_block = ref false in
+  Array.iter
+    (fun (record : Resim_trace.Record.t) ->
+      if record.wrong_path then begin
+        (* One penalty per wrong-path block: the in-order front end
+           squashes the block wholesale at resolution. *)
+        if not !in_wrong_block then add config.mispredict_penalty;
+        in_wrong_block := true
+      end
+      else begin
+        in_wrong_block := false;
+        instructions := Int64.add !instructions 1L;
+        add 1;
+        let uses_pending =
+          !pending_load_dest > 0
+          && (record.src1 = !pending_load_dest
+             || record.src2 = !pending_load_dest)
+        in
+        if uses_pending then add config.load_use_stall;
+        pending_load_dest := 0;
+        (match record.payload with
+        | Resim_trace.Record.Other { op_class = Resim_trace.Record.Mult } ->
+            add config.mult_stall
+        | Resim_trace.Record.Other { op_class = Resim_trace.Record.Divide } ->
+            add config.div_stall
+        | Resim_trace.Record.Other { op_class = Resim_trace.Record.Alu } -> ()
+        | Resim_trace.Record.Branch { taken; _ } ->
+            if taken then add config.taken_branch_bubble
+        | Resim_trace.Record.Memory { is_load; address } ->
+            let latency =
+              Resim_cache.Cache.access dcache ~addr:address
+                ~write:(not is_load)
+            in
+            let hit = (Resim_cache.Cache.timing dcache).hit_latency in
+            if latency > hit then add (latency - hit);
+            if is_load then pending_load_dest := record.dest)
+      end)
+    records;
+  let ipc =
+    if Int64.equal !cycles 0L then 0.0
+    else Int64.to_float !instructions /. Int64.to_float !cycles
+  in
+  { instructions = !instructions; cycles = !cycles; ipc }

@@ -1,0 +1,1 @@
+lib/bpred/direction.ml: Array Printf Saturating

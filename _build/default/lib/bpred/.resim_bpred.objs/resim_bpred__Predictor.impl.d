@@ -1,0 +1,1 @@
+lib/bpred/predictor.ml: Btb Direction Ras Resim_isa

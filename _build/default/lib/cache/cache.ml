@@ -1,0 +1,149 @@
+type geometry = {
+  size_bytes : int;
+  associativity : int;
+  block_bytes : int;
+}
+
+type config = Perfect | Set_associative of geometry
+
+type timing = { hit_latency : int; miss_latency : int }
+
+let default_timing = { hit_latency = 1; miss_latency = 18 }
+
+let l1_32k_8way_64b =
+  Set_associative
+    { size_bytes = 32 * 1024; associativity = 8; block_bytes = 64 }
+
+let l1_32k_2way_64b =
+  Set_associative
+    { size_bytes = 32 * 1024; associativity = 2; block_bytes = 64 }
+
+type way = { mutable tag : int; mutable stamp : int }
+(* tag = -1 marks an invalid way. *)
+
+type state =
+  | S_perfect
+  | S_sets of { sets : way array array; block_bits : int; set_count : int }
+
+type stats = {
+  accesses : int64;
+  hits : int64;
+  misses : int64;
+  evictions : int64;
+}
+
+type t = {
+  config : config;
+  timing : timing;
+  state : state;
+  mutable clock : int;
+  mutable accesses : int64;
+  mutable hits : int64;
+  mutable misses : int64;
+  mutable evictions : int64;
+}
+
+let log2_exact name n =
+  let rec loop value bits =
+    if value = 1 then bits
+    else if value land 1 <> 0 || value <= 0 then
+      invalid_arg (Printf.sprintf "Cache.create: %s must be a power of two" name)
+    else loop (value lsr 1) (bits + 1)
+  in
+  loop n 0
+
+let create ?(timing = default_timing) config =
+  let state =
+    match config with
+    | Perfect -> S_perfect
+    | Set_associative { size_bytes; associativity; block_bytes } ->
+        if associativity <= 0 then
+          invalid_arg "Cache.create: associativity must be positive";
+        let block_bits = log2_exact "block_bytes" block_bytes in
+        let set_count = size_bytes / (associativity * block_bytes) in
+        if set_count <= 0 then
+          invalid_arg "Cache.create: capacity too small for the geometry";
+        let sets =
+          Array.init set_count (fun _ ->
+              Array.init associativity (fun _ -> { tag = -1; stamp = 0 }))
+        in
+        S_sets { sets; block_bits; set_count }
+  in
+  { config; timing; state;
+    clock = 0; accesses = 0L; hits = 0L; misses = 0L; evictions = 0L }
+
+let config t = t.config
+let timing t = t.timing
+
+let locate ~block_bits ~set_count addr =
+  let block = addr lsr block_bits in
+  (block mod set_count, block / set_count)
+
+let find_way set tag =
+  let rec scan i =
+    if i >= Array.length set then None
+    else if set.(i).tag = tag then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let victim_way set =
+  let best = ref 0 in
+  for i = 1 to Array.length set - 1 do
+    if set.(i).tag = -1 && set.(!best).tag <> -1 then best := i
+    else if
+      set.(i).tag <> -1 && set.(!best).tag <> -1
+      && set.(i).stamp < set.(!best).stamp
+    then best := i
+  done;
+  !best
+
+let access t ~addr ~write =
+  ignore write;
+  t.accesses <- Int64.add t.accesses 1L;
+  t.clock <- t.clock + 1;
+  match t.state with
+  | S_perfect ->
+      t.hits <- Int64.add t.hits 1L;
+      t.timing.hit_latency
+  | S_sets { sets; block_bits; set_count } -> (
+      let index, tag = locate ~block_bits ~set_count addr in
+      let set = sets.(index) in
+      match find_way set tag with
+      | Some way ->
+          set.(way).stamp <- t.clock;
+          t.hits <- Int64.add t.hits 1L;
+          t.timing.hit_latency
+      | None ->
+          t.misses <- Int64.add t.misses 1L;
+          let way = victim_way set in
+          if set.(way).tag <> -1 then
+            t.evictions <- Int64.add t.evictions 1L;
+          set.(way).tag <- tag;
+          set.(way).stamp <- t.clock;
+          t.timing.hit_latency + t.timing.miss_latency)
+
+let probe t ~addr =
+  match t.state with
+  | S_perfect -> true
+  | S_sets { sets; block_bits; set_count } ->
+      let index, tag = locate ~block_bits ~set_count addr in
+      find_way sets.(index) tag <> None
+
+let stats t =
+  { accesses = t.accesses; hits = t.hits; misses = t.misses;
+    evictions = t.evictions }
+
+let reset_stats t =
+  t.accesses <- 0L;
+  t.hits <- 0L;
+  t.misses <- 0L;
+  t.evictions <- 0L
+
+let miss_rate t =
+  if Int64.equal t.accesses 0L then 0.0
+  else Int64.to_float t.misses /. Int64.to_float t.accesses
+
+let pp_stats ppf t =
+  Format.fprintf ppf "accesses=%Ld hits=%Ld misses=%Ld (%.2f%% miss)"
+    t.accesses t.hits t.misses (100.0 *. miss_rate t)

@@ -1,0 +1,1 @@
+lib/core/config.ml: Format Printf Resim_bpred Resim_cache

@@ -1,0 +1,1 @@
+lib/core/cosim.ml: Config Engine Resim_tracegen Source Stats

@@ -1,0 +1,1 @@
+lib/core/cosim.mli: Config Resim_isa Resim_tracegen Stats

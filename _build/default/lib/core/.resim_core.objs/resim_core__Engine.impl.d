@@ -1,0 +1,1 @@
+lib/core/engine.ml: Config Entry Fu Int64 Lsq Option Printf Rename Resim_bpred Resim_cache Resim_isa Resim_trace Ring Rob Source Stats

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Entry Resim_bpred Resim_cache Resim_trace Source Stats

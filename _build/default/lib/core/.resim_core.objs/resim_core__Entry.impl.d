@@ -1,0 +1,1 @@
+lib/core/entry.ml: Format Int64 Resim_bpred Resim_trace

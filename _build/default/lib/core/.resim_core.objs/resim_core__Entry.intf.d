@@ -1,0 +1,1 @@
+lib/core/entry.mli: Format Resim_bpred Resim_trace

@@ -1,0 +1,1 @@
+lib/core/fu.ml: Array Config Int64

@@ -1,0 +1,1 @@
+lib/core/histogram.ml: Array Format Int64

@@ -1,0 +1,1 @@
+lib/core/lsq.ml: Entry Printf Resim_trace Ring

@@ -1,0 +1,1 @@
+lib/core/lsq.mli: Entry

@@ -1,0 +1,1 @@
+lib/core/minor_cycle.ml: Buffer Config List Printf String

@@ -1,0 +1,1 @@
+lib/core/minor_cycle.mli: Config

@@ -1,0 +1,1 @@
+lib/core/pipeline_trace.ml: Buffer Bytes Engine Entry Hashtbl Int64 List Printf Queue Resim_trace

@@ -1,0 +1,1 @@
+lib/core/pipeline_trace.mli: Engine

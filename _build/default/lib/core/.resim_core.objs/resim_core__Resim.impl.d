@@ -1,0 +1,1 @@
+lib/core/resim.ml: Config Engine Format Resim_cache Resim_fpga Resim_trace Resim_tracegen Stats

@@ -1,0 +1,1 @@
+lib/core/resim.mli: Config Format Resim_cache Resim_fpga Resim_isa Resim_trace Resim_tracegen Stats

@@ -1,0 +1,1 @@
+lib/core/rob.ml: Entry Ring

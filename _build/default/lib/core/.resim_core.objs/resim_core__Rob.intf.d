@@ -1,0 +1,1 @@
+lib/core/rob.mli: Entry Resim_trace

@@ -1,0 +1,1 @@
+lib/core/source.ml: Array Resim_trace

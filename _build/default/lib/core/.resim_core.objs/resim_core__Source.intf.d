@@ -1,0 +1,1 @@
+lib/core/source.mli: Resim_trace

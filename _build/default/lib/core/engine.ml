@@ -1,0 +1,591 @@
+module Trace = Resim_trace
+module Bpred = Resim_bpred
+module Cache = Resim_cache.Cache
+module Hierarchy = Resim_cache.Hierarchy
+
+exception Deadlock of string
+
+(* Observable pipeline events, for tracing tools (Pipeline_trace). *)
+type event =
+  | Ev_fetch of Trace.Record.t
+  | Ev_dispatch of Entry.t
+  | Ev_issue of Entry.t
+  | Ev_complete of Entry.t
+  | Ev_commit of Entry.t
+  | Ev_squash of Entry.t
+  | Ev_flush_frontend
+
+type fetch_mode =
+  | Normal
+  | Wrong_path           (* consuming a tagged block *)
+  | Awaiting_resolution  (* tagged block over; hold until the squash *)
+
+(* A fetched record on its way to dispatch, carrying the fetch-time
+   decisions that belong to the eventual ROB entry. *)
+type fetched = {
+  record : Trace.Record.t;
+  squash_at_commit : bool;
+  ras_repair : Bpred.Ras.t option;
+}
+
+type t = {
+  config : Config.t;
+  source : Source.t;
+  mutable cursor : int;
+  ifq : fetched Ring.t;
+  decouple : fetched Ring.t;
+  rob : Rob.t;
+  lsq : Lsq.t;
+  rename : Rename.t;
+  fu : Fu.t;
+  predictor : Bpred.Predictor.t;
+  icache : Hierarchy.t;
+  dcache : Hierarchy.t;
+  l2cache : Cache.t option;
+  stats : Stats.t;
+  mutable cycle : int64;
+  mutable fetch_stall : int;
+  mutable fetch_mode : fetch_mode;
+  mutable last_fetch_block : int;
+  mutable observer : (event -> unit) option;
+}
+
+let create_from_source ?(config = Config.reference) source =
+  let config =
+    match Config.validate config with
+    | Ok config -> config
+    | Error message -> invalid_arg ("Engine.create: " ^ message)
+  in
+  let shared_l2 =
+    Option.map
+      (fun l2_config -> Cache.create ~timing:config.l2_timing l2_config)
+      config.l2cache
+  in
+  { config;
+    source;
+    cursor = 0;
+    ifq = Ring.create ~capacity:config.ifq_entries;
+    decouple = Ring.create ~capacity:config.decouple_entries;
+    rob = Rob.create ~entries:config.rob_entries;
+    lsq = Lsq.create ~entries:config.lsq_entries;
+    rename = Rename.create ~registers:Resim_isa.Reg.count;
+    fu = Fu.create config;
+    predictor = Bpred.Predictor.create config.predictor;
+    icache =
+      Hierarchy.create ~timing:config.cache_timing config.icache ~l2:shared_l2;
+    dcache =
+      Hierarchy.create ~timing:config.cache_timing config.dcache ~l2:shared_l2;
+    l2cache = shared_l2;
+    stats = Stats.create ();
+    cycle = 0L;
+    fetch_stall = 0;
+    fetch_mode = Normal;
+    last_fetch_block = -1;
+    observer = None }
+
+let create ?config trace = create_from_source ?config (Source.of_array trace)
+
+let config t = t.config
+let stats t = t.stats
+let icache t = Hierarchy.l1 t.icache
+let dcache t = Hierarchy.l1 t.dcache
+let l2cache t = t.l2cache
+let predictor t = t.predictor
+let cycle t = t.cycle
+
+let minor_cycles t =
+  Int64.mul t.cycle (Int64.of_int (Config.minor_cycle_latency t.config))
+
+let set_observer t observer = t.observer <- Some observer
+
+let notify t event =
+  match t.observer with
+  | Some observer -> observer event
+  | None -> ()
+
+let record_at t index = Source.at t.source index
+
+let finished t =
+  record_at t t.cursor = None
+  && Ring.is_empty t.ifq && Ring.is_empty t.decouple && Rob.is_empty t.rob
+
+(* ------------------------------------------------------------------ *)
+(* Squash: branch resolution at commit flushes everything younger.     *)
+
+let squash t (branch : Entry.t) =
+  if t.observer <> None then begin
+    Rob.iter
+      (fun (entry : Entry.t) ->
+        if entry.id > branch.id then notify t (Ev_squash entry))
+      t.rob;
+    notify t Ev_flush_frontend
+  end;
+  ignore (Rob.squash_younger t.rob ~than_id:branch.id);
+  ignore (Lsq.squash_younger t.lsq ~than_id:branch.id);
+  Ring.clear t.ifq;
+  Ring.clear t.decouple;
+  Rename.reset t.rename;
+  Fu.flush t.fu;
+  (match branch.ras_repair with
+  | Some saved -> Bpred.Predictor.ras_restore t.predictor saved
+  | None -> ());
+  (* Tagged records never fetched are discarded at the resolution
+     point. *)
+  let rec skip_tagged () =
+    match record_at t t.cursor with
+    | Some record when record.Trace.Record.wrong_path ->
+        t.cursor <- t.cursor + 1;
+        Stats.incr t.stats Stats.discarded_wrong_path;
+        skip_tagged ()
+    | Some _ | None -> ()
+  in
+  skip_tagged ();
+  t.fetch_mode <- Normal;
+  t.fetch_stall <- max t.fetch_stall t.config.misspeculation_penalty;
+  t.last_fetch_block <- -1
+
+(* ------------------------------------------------------------------ *)
+(* Commit: in-order, up to N per cycle; stores need a write port; the
+   completed result must be from an earlier cycle (the paper's flag).   *)
+
+let commit_phase t =
+  let committed = ref 0 in
+  let blocked = ref false in
+  let write_ports_used = ref 0 in
+  while (not !blocked) && !committed < t.config.width do
+    match Rob.head t.rob with
+    | None -> blocked := true
+    | Some entry ->
+        if entry.state <> Entry.Completed
+           || Int64.compare entry.completed_cycle t.cycle >= 0
+        then blocked := true
+        else if Entry.is_wrong_path entry then
+          failwith "Engine: wrong-path instruction reached commit"
+        else begin
+          let entry_commits =
+            if Entry.is_store entry then begin
+              if !write_ports_used >= t.config.mem_write_ports then begin
+                Stats.incr t.stats Stats.write_port_stalls;
+                blocked := true;
+                false
+              end
+              else begin
+                incr write_ports_used;
+                (match entry.record.payload with
+                | Trace.Record.Memory { address; _ } ->
+                    ignore (Hierarchy.access t.dcache ~addr:address ~write:true)
+                | Trace.Record.Branch _ | Trace.Record.Other _ -> ());
+                true
+              end
+            end
+            else true
+          in
+          if entry_commits then begin
+            ignore (Rob.pop_head t.rob);
+            if Trace.Record.is_memory entry.record then
+              Lsq.release_head t.lsq entry;
+            notify t (Ev_commit entry);
+            Stats.incr t.stats Stats.committed;
+            incr committed;
+            (match entry.record.payload with
+            | Trace.Record.Branch { kind; taken; target } ->
+                Stats.incr t.stats Stats.committed_branches;
+                if kind = Cond then
+                  Stats.incr t.stats Stats.committed_cond_branches;
+                Bpred.Predictor.update t.predictor ~pc:entry.record.pc ~kind
+                  ~taken ~target;
+                Bpred.Predictor.record_resolution t.predictor
+                  ~correct:(not entry.squash_on_commit);
+                if entry.squash_on_commit then begin
+                  Stats.incr t.stats Stats.mispredictions;
+                  squash t entry;
+                  blocked := true
+                end
+            | Trace.Record.Memory { is_load; _ } ->
+                if is_load then begin
+                  Stats.incr t.stats Stats.committed_loads;
+                  if entry.forwarded then
+                    Stats.incr t.stats Stats.forwarded_loads
+                end
+                else Stats.incr t.stats Stats.committed_stores
+            | Trace.Record.Other { op_class = Trace.Record.Mult }
+            | Trace.Record.Other { op_class = Trace.Record.Divide } ->
+                Stats.incr t.stats Stats.committed_mult_div
+            | Trace.Record.Other { op_class = Trace.Record.Alu } -> ())
+          end
+        end
+  done;
+  Stats.observe_commit_width t.stats !committed
+
+(* ------------------------------------------------------------------ *)
+(* Writeback: the oldest completed executions broadcast and wake their
+   dependents; same-cycle issue of woken instructions is legal.         *)
+
+let wakeup t (producer : Entry.t) =
+  Rob.iter
+    (fun (dependent : Entry.t) ->
+      if dependent.src1_producer = Some producer.id then
+        dependent.src1_producer <- None;
+      if dependent.src2_producer = Some producer.id then
+        dependent.src2_producer <- None)
+    t.rob;
+  let dest = producer.record.Trace.Record.dest in
+  if dest > 0 then Rename.clear t.rename ~reg:dest ~id:producer.id
+
+let writeback_phase t =
+  let broadcast = ref 0 in
+  (* Oldest-first scan; at most N broadcasts per major cycle. *)
+  (try
+     Rob.iter
+       (fun (entry : Entry.t) ->
+         if !broadcast >= t.config.width then raise Exit;
+         if entry.state = Entry.Issued
+            && Int64.compare entry.complete_at t.cycle <= 0
+         then begin
+           entry.state <- Entry.Completed;
+           entry.completed_cycle <- t.cycle;
+           notify t (Ev_complete entry);
+           wakeup t entry;
+           incr broadcast
+         end)
+       t.rob
+   with Exit -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Issue: schedule ready instructions onto units, oldest first.         *)
+
+type issue_verdict = Issued_with of int | No_unit | Not_ready
+
+let try_issue t ~reads_used (entry : Entry.t) =
+  match entry.record.payload with
+  | Trace.Record.Other { op_class } ->
+      if not (Entry.sources_ready entry) then Not_ready
+      else begin
+        let request =
+          match op_class with
+          | Trace.Record.Alu -> Fu.Alu
+          | Trace.Record.Mult -> Fu.Mult
+          | Trace.Record.Divide -> Fu.Div
+        in
+        match Fu.try_allocate t.fu request ~now:t.cycle with
+        | Some latency -> Issued_with latency
+        | None -> No_unit
+      end
+  | Trace.Record.Branch _ ->
+      if not (Entry.sources_ready entry) then Not_ready
+      else begin
+        match Fu.try_allocate t.fu Fu.Alu ~now:t.cycle with
+        | Some latency -> Issued_with latency
+        | None -> No_unit
+      end
+  | Trace.Record.Memory { is_load = false; _ } ->
+      (* Store: address generation on an ALU; memory write at commit. *)
+      if not (Entry.sources_ready entry) then Not_ready
+      else begin
+        match Fu.try_allocate t.fu Fu.Alu ~now:t.cycle with
+        | Some _ -> Issued_with 1
+        | None -> No_unit
+      end
+  | Trace.Record.Memory { is_load = true; address } -> (
+      match entry.load_readiness with
+      | Entry.Load_not_checked | Entry.Load_blocked -> Not_ready
+      | Entry.Load_forward -> (
+          match Fu.try_allocate t.fu Fu.Alu ~now:t.cycle with
+          | Some _ ->
+              entry.forwarded <- true;
+              Issued_with 1
+          | None -> No_unit)
+      | Entry.Load_needs_port ->
+          if !reads_used >= t.config.mem_read_ports then begin
+            Stats.incr t.stats Stats.read_port_stalls;
+            No_unit
+          end
+          else begin
+            match Fu.try_allocate t.fu Fu.Alu ~now:t.cycle with
+            | Some _ ->
+                incr reads_used;
+                let access = Hierarchy.access t.dcache ~addr:address ~write:false in
+                Issued_with (1 + access)
+            | None -> No_unit
+          end)
+
+let issue_entry t entry ~latency =
+  entry.Entry.state <- Entry.Issued;
+  entry.Entry.complete_at <- Int64.add t.cycle (Int64.of_int latency);
+  notify t (Ev_issue entry);
+  Stats.incr t.stats Stats.issued
+
+let issue_phase t =
+  Fu.begin_cycle t.fu;
+  let slots_used = ref 0 in
+  let reads_used = ref 0 in
+  let width = t.config.width in
+  (* The optimized organization bars loads from the first issue slot
+     (§IV.B): give slot 1 to the oldest ready non-load, if any. *)
+  if t.config.organization = Config.Optimized then begin
+    try
+      Rob.iter
+        (fun (entry : Entry.t) ->
+          if entry.state = Entry.Dispatched && not (Entry.is_load entry)
+          then begin
+            match try_issue t ~reads_used entry with
+            | Issued_with latency ->
+                issue_entry t entry ~latency;
+                incr slots_used;
+                raise Exit
+            | No_unit | Not_ready -> ()
+          end)
+        t.rob
+    with Exit -> ()
+  end;
+  (try
+     Rob.iter
+       (fun (entry : Entry.t) ->
+         if !slots_used >= width then raise Exit;
+         if entry.state = Entry.Dispatched then begin
+           match try_issue t ~reads_used entry with
+           | Issued_with latency ->
+               issue_entry t entry ~latency;
+               incr slots_used
+           | No_unit | Not_ready -> ()
+         end)
+       t.rob
+   with Exit -> ());
+  Stats.observe_issue_width t.stats !slots_used
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch: decouple buffer -> ROB (+ LSQ), with renaming.             *)
+
+let dispatch_phase t =
+  let count = ref 0 in
+  let blocked = ref false in
+  while (not !blocked) && !count < t.config.width do
+    match Ring.peek t.decouple with
+    | None -> blocked := true
+    | Some fetched ->
+        if Rob.is_full t.rob then begin
+          Stats.incr t.stats Stats.rob_full_stalls;
+          blocked := true
+        end
+        else if
+          Trace.Record.is_memory fetched.record && Lsq.is_full t.lsq
+        then begin
+          Stats.incr t.stats Stats.lsq_full_stalls;
+          blocked := true
+        end
+        else begin
+          ignore (Ring.pop t.decouple);
+          let entry = Rob.dispatch t.rob fetched.record in
+          entry.squash_on_commit <- fetched.squash_at_commit;
+          entry.ras_repair <- fetched.ras_repair;
+          entry.src1_producer <-
+            Rename.producer t.rename fetched.record.src1;
+          entry.src2_producer <-
+            Rename.producer t.rename fetched.record.src2;
+          if fetched.record.dest > 0 then
+            Rename.define t.rename ~reg:fetched.record.dest ~id:entry.id;
+          if Trace.Record.is_memory fetched.record then
+            Lsq.dispatch t.lsq entry;
+          notify t (Ev_dispatch entry);
+          Stats.incr t.stats Stats.dispatched;
+          incr count
+        end
+  done
+
+(* Decouple: IFQ -> decouple buffer, up to N per cycle. *)
+let decouple_phase t =
+  let moved = ref 0 in
+  while
+    !moved < t.config.width
+    && (not (Ring.is_empty t.ifq))
+    && not (Ring.is_full t.decouple)
+  do
+    match Ring.pop t.ifq with
+    | Some fetched ->
+        Ring.push t.decouple fetched;
+        incr moved
+    | None -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fetch.                                                              *)
+
+let icache_block_bytes t =
+  match Cache.config (Hierarchy.l1 t.icache) with
+  | Cache.Perfect -> 64
+  | Cache.Set_associative { block_bytes; _ } -> block_bytes
+
+(* Fetch-time handling of a control-flow record: consult the branch
+   predictor unit (misfetch detection, RAS effects, statistics) and
+   detect generator mispredictions from the trace structure. Returns
+   the fetched-record annotations and whether the front end follows a
+   taken target (ending the fetch group). *)
+let fetch_control t (record : Trace.Record.t) ~kind ~taken ~target =
+  let next_record = record_at t t.cursor in
+  let next_is_tagged =
+    (not record.wrong_path)
+    && (match next_record with
+       | Some next -> next.Trace.Record.wrong_path
+       | None -> false)
+  in
+  let effective_taken =
+    if next_is_tagged then
+      match (kind : Resim_isa.Opcode.branch_kind) with
+      | Cond -> not taken
+      | Jump | Call | Ret | Indirect -> true
+    else taken
+  in
+  let prediction =
+    Bpred.Predictor.predict t.predictor ~pc:record.pc ~kind
+      ~fallthrough:(record.pc + 1) ~actual_taken:taken ~actual_target:target
+  in
+  (* Misfetch: the front end follows a taken path but cannot supply the
+     right target PC this cycle (§III). The needed target is the next
+     record to fetch. *)
+  let next_same_path =
+    match next_record with
+    | Some next ->
+        next.Trace.Record.wrong_path = record.wrong_path || next_is_tagged
+    | None -> false
+  in
+  (match next_record with
+   | Some next when effective_taken && next_same_path ->
+    let needed = next.Trace.Record.pc in
+    let misfetch =
+      match prediction.target with
+      | Some supplied -> supplied <> needed
+      | None -> true
+    in
+    if misfetch then begin
+      Stats.incr t.stats Stats.misfetches;
+      t.fetch_stall <- max t.fetch_stall t.config.misfetch_penalty
+    end
+   | Some _ | None -> ());
+  let ras_repair =
+    if next_is_tagged then Some (Bpred.Predictor.ras_snapshot t.predictor)
+    else None
+  in
+  if next_is_tagged then t.fetch_mode <- Wrong_path;
+  ({ record; squash_at_commit = next_is_tagged; ras_repair }, effective_taken)
+
+let fetch_phase t =
+  if t.fetch_stall > 0 then begin
+    t.fetch_stall <- t.fetch_stall - 1;
+    Stats.incr t.stats Stats.fetch_penalty_cycles
+  end
+  else begin
+    Source.release_below t.source t.cursor;
+    let fetched_count = ref 0 in
+    let stop = ref false in
+    while
+      (not !stop) && !fetched_count < t.config.width
+      && not (Ring.is_full t.ifq)
+    do
+      match record_at t t.cursor with
+      | None -> stop := true
+      | Some record ->
+      (match t.fetch_mode with
+      | Awaiting_resolution -> stop := true
+      | Wrong_path when not record.wrong_path ->
+          t.fetch_mode <- Awaiting_resolution;
+          stop := true
+      | Normal when record.wrong_path ->
+          (* A tagged record with no pending misprediction (malformed or
+             pre-truncated trace): discard it, as resolution would. *)
+          t.cursor <- t.cursor + 1;
+          Stats.incr t.stats Stats.discarded_wrong_path
+      | Normal | Wrong_path ->
+          (* Instruction cache, one access per new block. *)
+          let byte_addr = Resim_isa.Instruction.byte_address record.pc in
+          let block = byte_addr / icache_block_bytes t in
+          let stalled_on_icache =
+            if block = t.last_fetch_block then false
+            else begin
+              let latency =
+                Hierarchy.access t.icache ~addr:byte_addr ~write:false
+              in
+              t.last_fetch_block <- block;
+              let extra =
+                latency - (Cache.timing (Hierarchy.l1 t.icache)).hit_latency
+              in
+              if extra > 0 then begin
+                t.fetch_stall <- extra;
+                Stats.add t.stats Stats.icache_stall_cycles (Int64.of_int extra);
+                true
+              end
+              else false
+            end
+          in
+          if stalled_on_icache then stop := true
+          else begin
+            t.cursor <- t.cursor + 1;
+            Stats.incr t.stats Stats.fetched;
+            if record.wrong_path then
+              Stats.incr t.stats Stats.fetched_wrong_path;
+            let fetched, taken =
+              match record.payload with
+              | Trace.Record.Branch { kind; taken; target } ->
+                  fetch_control t record ~kind ~taken ~target
+              | Trace.Record.Memory _ | Trace.Record.Other _ ->
+                  ( { record; squash_at_commit = false; ras_repair = None },
+                    false )
+            in
+            Ring.push t.ifq fetched;
+            notify t (Ev_fetch record);
+            incr fetched_count;
+            (* Fetch until a control-flow bubble (§III). *)
+            if taken then stop := true
+          end)
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let step t =
+  if not (finished t) then begin
+    commit_phase t;
+    writeback_phase t;
+    Lsq.refresh t.lsq;
+    issue_phase t;
+    dispatch_phase t;
+    decouple_phase t;
+    fetch_phase t;
+    Stats.sample_occupancy t.stats ~ifq:(Ring.length t.ifq)
+      ~rob:(Rob.length t.rob) ~lsq:(Lsq.length t.lsq);
+    t.cycle <- Int64.add t.cycle 1L;
+    Stats.incr t.stats Stats.major_cycles
+  end
+
+let progress_signature t =
+  (t.cursor, Stats.get Stats.committed t.stats, Rob.length t.rob)
+
+let run ?(max_cycles = 1_000_000_000L) t =
+  let last_progress = ref (progress_signature t) in
+  let stuck_for = ref 0 in
+  while not (finished t) do
+    if Int64.compare t.cycle max_cycles >= 0 then
+      raise
+        (Deadlock (Printf.sprintf "exceeded max_cycles at cursor %d" t.cursor));
+    step t;
+    let now = progress_signature t in
+    if now = !last_progress then begin
+      incr stuck_for;
+      if !stuck_for > 100_000 then
+        raise
+          (Deadlock
+             (Printf.sprintf
+                "no progress for %d cycles (cursor %d, rob %d, mode %s)"
+                !stuck_for t.cursor (Rob.length t.rob)
+                (match t.fetch_mode with
+                | Normal -> "normal"
+                | Wrong_path -> "wrong-path"
+                | Awaiting_resolution -> "awaiting")))
+    end
+    else begin
+      stuck_for := 0;
+      last_progress := now
+    end
+  done;
+  t.stats
+
+let simulate ?config trace = run (create ?config trace)

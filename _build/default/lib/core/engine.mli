@@ -1,0 +1,87 @@
+(** The ReSim timing engine.
+
+    Consumes a pre-decoded trace and simulates the out-of-order processor
+    of Figure 1 one major cycle at a time. Architectural semantics are
+    enforced at major-cycle boundaries; each major cycle is charged
+    [L(N)] minor cycles according to the configured internal organization
+    (§IV) — the three organizations are timing-equivalent at major-cycle
+    granularity by design, which a property test asserts.
+
+    Within a major cycle the engine applies stage effects in the
+    simulated-semantics order commit → writeback → Lsq_refresh → issue →
+    dispatch → decouple → fetch. Running writeback before issue realises
+    same-cycle wakeup of single-cycle producers; running commit first
+    realises the paper's flag that keeps just-completed instructions from
+    committing in the same major cycle.
+
+    Mis-speculation: a tagged block following a branch record means the
+    trace generator's predictor missed it. The engine fetches down the
+    tagged block, holds further fetch at the first untagged record, and
+    squashes at the branch's commit (the resolution point), discarding
+    tagged records it never fetched and paying the misspeculation
+    penalty. Misfetches (front end needs a taken-target the BTB/RAS
+    cannot supply) pay the misfetch penalty. *)
+
+type t
+
+(** Pipeline events observable through {!set_observer}; the hook for
+    tracing tools such as {!Pipeline_trace}. Entries are live engine
+    state — read, never mutate. *)
+type event =
+  | Ev_fetch of Resim_trace.Record.t
+  | Ev_dispatch of Entry.t
+  | Ev_issue of Entry.t
+  | Ev_complete of Entry.t
+  | Ev_commit of Entry.t
+  | Ev_squash of Entry.t
+  | Ev_flush_frontend
+      (** a squash emptied the IFQ and decouple buffer *)
+
+val create : ?config:Config.t -> Resim_trace.Record.t array -> t
+(** Raises [Invalid_argument] when the configuration does not
+    {!Config.validate}. Default configuration: {!Config.reference}. *)
+
+val create_from_source : ?config:Config.t -> Source.t -> t
+(** Consume records from a {!Source} — in particular a pull source fed
+    by a live functional simulator ({!Cosim}), the paper's FAST-style
+    on-the-fly mode. *)
+
+val config : t -> Config.t
+val stats : t -> Stats.t
+val icache : t -> Resim_cache.Cache.t
+(** The L1 instruction cache. *)
+
+val dcache : t -> Resim_cache.Cache.t
+(** The L1 data cache. *)
+
+val l2cache : t -> Resim_cache.Cache.t option
+(** The shared L2, when the configuration has one. *)
+
+val predictor : t -> Resim_bpred.Predictor.t
+
+val set_observer : t -> (event -> unit) -> unit
+(** Install the (single) event observer. Events fire in pipeline order
+    within a cycle. *)
+
+val cycle : t -> int64
+(** Major cycles elapsed. *)
+
+val minor_cycles : t -> int64
+(** [cycle * L(N)]. *)
+
+val finished : t -> bool
+(** Trace fully consumed and pipeline drained. *)
+
+val step : t -> unit
+(** Simulate one major cycle. No-op once {!finished}. *)
+
+exception Deadlock of string
+(** Raised by {!run} when no progress is made for a long stretch —
+    indicates an engine bug, never expected on valid traces. *)
+
+val run : ?max_cycles:int64 -> t -> Stats.t
+(** Step until {!finished} (or [max_cycles], default 1 G). *)
+
+val simulate :
+  ?config:Config.t -> Resim_trace.Record.t array -> Stats.t
+(** [create] + [run]. *)

@@ -1,0 +1,51 @@
+type state = Dispatched | Issued | Completed
+
+type load_readiness =
+  | Load_not_checked
+  | Load_blocked
+  | Load_forward
+  | Load_needs_port
+
+type t = {
+  id : int;
+  record : Resim_trace.Record.t;
+  mutable src1_producer : int option;
+  mutable src2_producer : int option;
+  mutable state : state;
+  mutable complete_at : int64;
+  mutable completed_cycle : int64;
+  mutable load_readiness : load_readiness;
+  mutable forwarded : bool;
+  mutable squash_on_commit : bool;
+  mutable ras_repair : Resim_bpred.Ras.t option;
+}
+
+let make ~id record =
+  { id;
+    record;
+    src1_producer = None;
+    src2_producer = None;
+    state = Dispatched;
+    complete_at = Int64.max_int;
+    completed_cycle = Int64.max_int;
+    load_readiness = Load_not_checked;
+    forwarded = false;
+    squash_on_commit = false;
+    ras_repair = None }
+
+let sources_ready t = t.src1_producer = None && t.src2_producer = None
+
+let is_load t = Resim_trace.Record.is_load t.record
+let is_store t = Resim_trace.Record.is_store t.record
+let is_branch t = Resim_trace.Record.is_branch t.record
+let is_wrong_path t = t.record.Resim_trace.Record.wrong_path
+
+let pp ppf t =
+  let state_name =
+    match t.state with
+    | Dispatched -> "dispatched"
+    | Issued -> "issued"
+    | Completed -> "completed"
+  in
+  Format.fprintf ppf "#%d %a [%s]" t.id Resim_trace.Record.pp t.record
+    state_name

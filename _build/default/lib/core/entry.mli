@@ -1,0 +1,44 @@
+(** In-flight instruction state — a Reorder Buffer entry.
+
+    The simulated architecture is RUU-style: the ROB entry doubles as the
+    reservation station, carrying source readiness (producer links into
+    older entries), execution state and the bookkeeping flags that drive
+    mis-speculation handling. *)
+
+type state =
+  | Dispatched  (** waiting in the window for operands / a unit *)
+  | Issued      (** executing; [complete_at] is the writeback cycle *)
+  | Completed   (** result broadcast; awaiting in-order commit *)
+
+(** Load readiness as decided by Lsq_refresh each major cycle. *)
+type load_readiness =
+  | Load_not_checked
+  | Load_blocked      (** an older store's address is unresolved *)
+  | Load_forward      (** value forwarded from an older store in the LSQ *)
+  | Load_needs_port   (** must access the D-cache through a read port *)
+
+type t = {
+  id : int;  (** global program-order sequence number *)
+  record : Resim_trace.Record.t;
+  mutable src1_producer : int option;  (** producing entry id, if pending *)
+  mutable src2_producer : int option;
+  mutable state : state;
+  mutable complete_at : int64;
+  mutable completed_cycle : int64;
+      (** cycle the result was broadcast; commit requires it to be a past
+          cycle — the paper's same-cycle flag *)
+  mutable load_readiness : load_readiness;
+  mutable forwarded : bool;
+  mutable squash_on_commit : bool;
+      (** mispredicted branch: resolves and squashes at commit *)
+  mutable ras_repair : Resim_bpred.Ras.t option;
+}
+
+val make : id:int -> Resim_trace.Record.t -> t
+
+val sources_ready : t -> bool
+val is_load : t -> bool
+val is_store : t -> bool
+val is_branch : t -> bool
+val is_wrong_path : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+type t = {
+  config : Config.t;
+  mutable alu_used : int;
+  mutable mult_used : int;
+  div_busy_until : int64 array;
+  mutable alu_allocations : int64;
+}
+
+type request = Alu | Mult | Div
+
+let create (config : Config.t) =
+  { config;
+    alu_used = 0;
+    mult_used = 0;
+    div_busy_until = Array.make config.div_count 0L;
+    alu_allocations = 0L }
+
+let begin_cycle t =
+  t.alu_used <- 0;
+  t.mult_used <- 0
+
+let try_allocate t request ~now =
+  match request with
+  | Alu ->
+      if t.alu_used < t.config.alu_count then begin
+        t.alu_used <- t.alu_used + 1;
+        t.alu_allocations <- Int64.add t.alu_allocations 1L;
+        Some t.config.alu_latency
+      end
+      else None
+  | Mult ->
+      if t.mult_used < t.config.mult_count then begin
+        t.mult_used <- t.mult_used + 1;
+        Some t.config.mult_latency
+      end
+      else None
+  | Div ->
+      let rec scan i =
+        if i >= Array.length t.div_busy_until then None
+        else if Int64.compare t.div_busy_until.(i) now <= 0 then begin
+          t.div_busy_until.(i) <-
+            Int64.add now (Int64.of_int t.config.div_latency);
+          Some t.config.div_latency
+        end
+        else scan (i + 1)
+      in
+      scan 0
+
+let flush t = Array.fill t.div_busy_until 0 (Array.length t.div_busy_until) 0L
+
+let alu_busy_fraction t ~cycles =
+  if Int64.equal cycles 0L || t.config.alu_count = 0 then 0.0
+  else
+    Int64.to_float t.alu_allocations
+    /. (Int64.to_float cycles *. float_of_int t.config.alu_count)

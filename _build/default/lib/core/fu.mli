@@ -1,0 +1,26 @@
+(** Functional-unit pool.
+
+    The reference processor has four single-cycle ALUs, one 3-cycle
+    multiplier and one 10-cycle divider. ALUs and the multiplier are
+    pipelined (one new operation per unit per cycle); the divider is not
+    — it stays busy for its full latency. Branches and address
+    generation execute on ALUs. *)
+
+type t
+
+type request = Alu | Mult | Div
+
+val create : Config.t -> t
+
+val begin_cycle : t -> unit
+(** Reset per-cycle allocation counts; call once per major cycle. *)
+
+val try_allocate : t -> request -> now:int64 -> int option
+(** [Some latency] when a unit of the requested class accepted the
+    operation this cycle, [None] otherwise. *)
+
+val flush : t -> unit
+(** Squash: abandon in-flight work (frees the divider). *)
+
+val alu_busy_fraction : t -> cycles:int64 -> float
+(** Mean ALU allocations per cycle divided by ALU count. *)

@@ -1,0 +1,31 @@
+(** Load/Store Queue.
+
+    Holds the in-flight memory operations in program order. The
+    [refresh] pass is the paper's {e Lsq_refresh} stage, executed once
+    per major cycle: it examines every waiting load and decides whether
+    it is blocked behind an older store with an unresolved address, can
+    take its value by store-to-load forwarding, or is ready to access the
+    D-cache through a read port. A store's address resolves as soon as
+    its base register is available; forwarding additionally requires the
+    store data to be ready. *)
+
+type t
+
+val create : entries:int -> t
+val capacity : t -> int
+val length : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val dispatch : t -> Entry.t -> unit
+(** Append a memory-op entry (program order). *)
+
+val refresh : t -> unit
+(** The Lsq_refresh pass: set {!Entry.load_readiness} on every waiting
+    load. Word-granularity address matching. *)
+
+val release_head : t -> Entry.t -> unit
+(** Commit of the memory op [entry]: it must be the queue head. *)
+
+val squash_younger : t -> than_id:int -> int
+val iter : (Entry.t -> unit) -> t -> unit

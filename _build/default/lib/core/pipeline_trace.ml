@@ -1,0 +1,142 @@
+type event_kind = Fetched | Dispatched | Issued | Completed | Committed | Squashed
+
+type timeline = {
+  id : int;
+  pc : int;
+  wrong_path : bool;
+  events : (event_kind * int64) list;
+}
+
+type slot = {
+  slot_id : int;
+  slot_pc : int;
+  slot_wrong : bool;
+  mutable recorded : (event_kind * int64) list;  (* newest first *)
+}
+
+type t = {
+  engine : Engine.t;
+  window : int;
+  slots : (int, slot) Hashtbl.t;
+  (* Fetch cycles queue: fetch order equals dispatch order, so each
+     dispatch pops the oldest pending fetch cycle. *)
+  pending_fetches : int64 Queue.t;
+  mutable traced : int;
+}
+
+let record t ~id ~pc ~wrong kind =
+  let slot =
+    match Hashtbl.find_opt t.slots id with
+    | Some slot -> slot
+    | None ->
+        let slot =
+          { slot_id = id; slot_pc = pc; slot_wrong = wrong; recorded = [] }
+        in
+        Hashtbl.replace t.slots id slot;
+        slot
+  in
+  slot.recorded <- (kind, Engine.cycle t.engine) :: slot.recorded
+
+let observe t event =
+  match (event : Engine.event) with
+  | Engine.Ev_fetch _ -> Queue.add (Engine.cycle t.engine) t.pending_fetches
+  | Engine.Ev_flush_frontend -> Queue.clear t.pending_fetches
+  | Engine.Ev_dispatch entry ->
+      if t.traced < t.window then begin
+        t.traced <- t.traced + 1;
+        let id = entry.Entry.id in
+        let pc = entry.Entry.record.Resim_trace.Record.pc in
+        let wrong = Entry.is_wrong_path entry in
+        (match Queue.take_opt t.pending_fetches with
+        | Some fetch_cycle ->
+            let slot =
+              { slot_id = id; slot_pc = pc; slot_wrong = wrong;
+                recorded = [ (Fetched, fetch_cycle) ] }
+            in
+            Hashtbl.replace t.slots id slot
+        | None -> ());
+        record t ~id ~pc ~wrong Dispatched
+      end
+      else ignore (Queue.take_opt t.pending_fetches)
+  | Engine.Ev_issue entry ->
+      if Hashtbl.mem t.slots entry.Entry.id then
+        record t ~id:entry.Entry.id ~pc:0 ~wrong:false Issued
+  | Engine.Ev_complete entry ->
+      if Hashtbl.mem t.slots entry.Entry.id then
+        record t ~id:entry.Entry.id ~pc:0 ~wrong:false Completed
+  | Engine.Ev_commit entry ->
+      if Hashtbl.mem t.slots entry.Entry.id then
+        record t ~id:entry.Entry.id ~pc:0 ~wrong:false Committed
+  | Engine.Ev_squash entry ->
+      if Hashtbl.mem t.slots entry.Entry.id then
+        record t ~id:entry.Entry.id ~pc:0 ~wrong:false Squashed
+
+let create ?(window = 64) engine =
+  let t =
+    { engine; window; slots = Hashtbl.create 64;
+      pending_fetches = Queue.create (); traced = 0 }
+  in
+  Engine.set_observer engine (observe t);
+  t
+
+let step t = Engine.step t.engine
+
+let run ?(max_cycles = 1_000_000L) t =
+  let cycles = ref 0L in
+  while (not (Engine.finished t.engine)) && Int64.compare !cycles max_cycles < 0 do
+    step t;
+    cycles := Int64.add !cycles 1L
+  done
+
+let timelines t =
+  Hashtbl.fold (fun _ slot acc -> slot :: acc) t.slots []
+  |> List.sort (fun a b -> compare a.slot_id b.slot_id)
+  |> List.map (fun slot ->
+         { id = slot.slot_id; pc = slot.slot_pc; wrong_path = slot.slot_wrong;
+           events = List.rev slot.recorded })
+
+let letter = function
+  | Fetched -> 'F'
+  | Dispatched -> 'D'
+  | Issued -> 'i'
+  | Completed -> 'W'
+  | Committed -> 'C'
+  | Squashed -> 'x'
+
+let render t =
+  let lines = timelines t in
+  let buffer = Buffer.create 1024 in
+  let horizon =
+    List.fold_left
+      (fun acc line ->
+        List.fold_left (fun acc (_, cycle) -> max acc cycle) acc line.events)
+      0L lines
+  in
+  let width = Int64.to_int horizon + 1 in
+  Buffer.add_string buffer (Printf.sprintf "%-6s%-8s|" "id" "pc");
+  for c = 0 to width - 1 do
+    Buffer.add_char buffer (if c mod 10 = 0 then '|' else '.')
+  done;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun line ->
+      Buffer.add_string buffer
+        (Printf.sprintf "#%-5d%-8d|" line.id line.pc);
+      let row = Bytes.make width ' ' in
+      (* Mark active occupancy between first and last event. *)
+      (match (line.events, List.rev line.events) with
+      | (_, first) :: _, (_, last) :: _ ->
+          for c = Int64.to_int first to Int64.to_int last do
+            Bytes.set row c '.'
+          done
+      | _ -> ());
+      List.iter
+        (fun (kind, cycle) -> Bytes.set row (Int64.to_int cycle) (letter kind))
+        line.events;
+      Buffer.add_string buffer (Bytes.to_string row);
+      if line.wrong_path then Buffer.add_string buffer "  (wrong path)";
+      Buffer.add_char buffer '\n')
+    lines;
+  Buffer.add_string buffer
+    "F fetch  D dispatch  i issue  W writeback  C commit  x squashed\n";
+  Buffer.contents buffer

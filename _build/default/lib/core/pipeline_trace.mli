@@ -1,0 +1,42 @@
+(** Per-instruction pipeline event tracing — the sim-outorder
+    `ptrace` analog.
+
+    Wraps an engine and records, for a window of instruction ids, the
+    major cycle at which each instruction passed fetch, dispatch, issue,
+    writeback and commit (or was squashed), then renders the classic
+    Gantt view:
+
+    {v
+    id    pc      |0         1         2
+    #0    0       |F.DiWC
+    #1    1       | F.DiWC
+    #4    5       |  F.Di....WC
+    v}
+
+    Tracing attaches through {!Engine.set_observer}, so the engine's
+    timing is untouched. *)
+
+type event_kind = Fetched | Dispatched | Issued | Completed | Committed | Squashed
+
+type timeline = {
+  id : int;               (** ROB sequence id *)
+  pc : int;
+  wrong_path : bool;
+  events : (event_kind * int64) list;  (** cycle of each stage, in order *)
+}
+
+type t
+
+val create : ?window:int -> Engine.t -> t
+(** Trace the first [window] (default 64) instructions dispatched. *)
+
+val step : t -> unit
+(** Advance the engine one major cycle and record events. *)
+
+val run : ?max_cycles:int64 -> t -> unit
+
+val timelines : t -> timeline list
+(** Completed view, ordered by id. *)
+
+val render : t -> string
+(** ASCII Gantt chart of the traced window. *)

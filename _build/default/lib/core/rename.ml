@@ -1,0 +1,26 @@
+type t = { producers : int option array }
+
+let create ~registers =
+  if registers <= 0 then invalid_arg "Rename.create";
+  { producers = Array.make registers None }
+
+let producer t reg =
+  if reg <= 0 || reg >= Array.length t.producers then None
+  else t.producers.(reg)
+
+let define t ~reg ~id =
+  if reg > 0 && reg < Array.length t.producers then
+    t.producers.(reg) <- Some id
+
+let clear t ~reg ~id =
+  if reg > 0 && reg < Array.length t.producers then
+    match t.producers.(reg) with
+    | Some owner when owner = id -> t.producers.(reg) <- None
+    | Some _ | None -> ()
+
+let reset t = Array.fill t.producers 0 (Array.length t.producers) None
+
+let pending t =
+  Array.fold_left
+    (fun acc slot -> match slot with Some _ -> acc + 1 | None -> acc)
+    0 t.producers

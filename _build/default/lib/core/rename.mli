@@ -1,0 +1,25 @@
+(** Rename table: architectural register → in-flight producer.
+
+    Dispatch looks sources up here and records the producing ROB entry;
+    writeback clears a mapping it still owns. Because branch resolution
+    happens at commit (when the branch is the oldest instruction), a
+    squash always empties the window, so recovery is a full {!reset}. *)
+
+type t
+
+val create : registers:int -> t
+
+val producer : t -> int -> int option
+(** [producer t reg] is the id of the in-flight entry producing [reg],
+    or [None] when the architectural value is current. Register 0 never
+    has a producer. *)
+
+val define : t -> reg:int -> id:int -> unit
+(** Dispatch of an instruction writing [reg]. *)
+
+val clear : t -> reg:int -> id:int -> unit
+(** Writeback: remove the mapping only if [id] still owns it. *)
+
+val reset : t -> unit
+val pending : t -> int
+(** Number of registers currently renamed. *)

@@ -1,0 +1,55 @@
+let version = "1.0.0"
+
+type outcome = {
+  config : Config.t;
+  stats : Stats.t;
+  trace_summary : Resim_trace.Summary.t;
+  bits_per_instruction : float;
+  icache_stats : Resim_cache.Cache.stats;
+  dcache_stats : Resim_cache.Cache.stats;
+}
+
+let simulate_trace ?(config = Config.reference) records =
+  let engine = Engine.create ~config records in
+  let stats = Engine.run engine in
+  { config;
+    stats;
+    trace_summary = Resim_trace.Summary.of_records records;
+    bits_per_instruction = Resim_trace.Codec.bits_per_instruction records;
+    icache_stats = Resim_cache.Cache.stats (Engine.icache engine);
+    dcache_stats = Resim_cache.Cache.stats (Engine.dcache engine) }
+
+let simulate_program ?(config = Config.reference) ?generator program =
+  let generator =
+    match generator with
+    | Some generator_config -> generator_config
+    | None ->
+        { Resim_tracegen.Generator.default_config with
+          predictor = config.predictor;
+          wrong_path_limit = config.rob_entries + config.ifq_entries }
+  in
+  let records = Resim_tracegen.Generator.records ~config:generator program in
+  simulate_trace ~config records
+
+let mips outcome ~device =
+  Resim_fpga.Throughput.mips ~mhz:device.Resim_fpga.Device.minor_cycle_mhz
+    ~minor_cycles_per_major:(Config.minor_cycle_latency outcome.config)
+    ~instructions:(Stats.get Stats.committed outcome.stats)
+    ~major_cycles:(Stats.get Stats.major_cycles outcome.stats)
+
+let mips_with_wrong_path outcome ~device =
+  Resim_fpga.Throughput.mips ~mhz:device.Resim_fpga.Device.minor_cycle_mhz
+    ~minor_cycles_per_major:(Config.minor_cycle_latency outcome.config)
+    ~instructions:(Stats.get Stats.fetched outcome.stats)
+    ~major_cycles:(Stats.get Stats.major_cycles outcome.stats)
+
+let trace_bandwidth_mbytes outcome ~device =
+  Resim_fpga.Throughput.trace_mbytes_per_second
+    ~mips:(mips_with_wrong_path outcome ~device)
+    ~bits_per_instruction:outcome.bits_per_instruction
+
+let pp_outcome ppf outcome =
+  Format.fprintf ppf "@[<v>configuration:@,  @[<v>%a@]@,trace:@,  @[<v>%a@]@,\
+                      engine:@,  @[<v>%a@]@,trace encoding: %.2f bits/instr@]"
+    Config.pp outcome.config Resim_trace.Summary.pp outcome.trace_summary
+    Stats.pp outcome.stats outcome.bits_per_instruction

@@ -1,0 +1,54 @@
+(** ReSim — trace-driven ILP processor timing simulation.
+
+    High-level entry points tying the substrates together: generate a
+    trace from an assembled program (or take a pre-built one), run the
+    timing engine, and express the result as the paper does — simulation
+    MIPS on a target FPGA device.
+
+    {[
+      let program = Resim_workloads.Gzip_like.program ~scale:1_000 in
+      let outcome = Resim_core.Resim.simulate_program program in
+      Format.printf "IPC %.2f, %.1f MIPS on Virtex-5@."
+        (Resim_core.Stats.ipc outcome.stats)
+        (Resim_core.Resim.mips outcome
+           ~device:Resim_fpga.Device.virtex5_xc5vlx50t)
+    ]} *)
+
+val version : string
+
+type outcome = {
+  config : Config.t;
+  stats : Stats.t;
+  trace_summary : Resim_trace.Summary.t;
+  bits_per_instruction : float;
+      (** of the Fixed trace encoding, as in Table 3 *)
+  icache_stats : Resim_cache.Cache.stats;
+  dcache_stats : Resim_cache.Cache.stats;
+}
+
+val simulate_trace :
+  ?config:Config.t -> Resim_trace.Record.t array -> outcome
+
+val simulate_program :
+  ?config:Config.t ->
+  ?generator:Resim_tracegen.Generator.config ->
+  Resim_isa.Program.t ->
+  outcome
+(** Trace generation ({!Resim_tracegen.Generator}) followed by
+    {!simulate_trace}. When [generator] is omitted, its predictor is
+    taken from the engine configuration so the generator and the engine
+    model the same front end. *)
+
+(** {1 Paper metrics} *)
+
+val mips : outcome -> device:Resim_fpga.Device.t -> float
+(** Table 1 metric: committed instructions per second when ReSim runs at
+    the device's minor-cycle frequency, in MIPS. *)
+
+val mips_with_wrong_path : outcome -> device:Resim_fpga.Device.t -> float
+(** Table 3 metric: all fetched records count. *)
+
+val trace_bandwidth_mbytes : outcome -> device:Resim_fpga.Device.t -> float
+(** Table 3 metric: input trace bandwidth demand in MB/s. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

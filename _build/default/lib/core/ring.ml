@@ -1,0 +1,79 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;
+  mutable length : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; head = 0; length = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.length
+let space t = capacity t - t.length
+let is_empty t = t.length = 0
+let is_full t = t.length = capacity t
+
+let index t i = (t.head + i) mod capacity t
+
+let push t value =
+  if is_full t then failwith "Ring.push: full";
+  t.slots.(index t t.length) <- Some value;
+  t.length <- t.length + 1
+
+let peek t = if is_empty t then None else t.slots.(t.head)
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let value = t.slots.(t.head) in
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod capacity t;
+    t.length <- t.length - 1;
+    value
+  end
+
+let get t i =
+  if i < 0 || i >= t.length then invalid_arg "Ring.get: out of range";
+  match t.slots.(index t i) with
+  | Some value -> value
+  | None -> assert false
+
+let iteri f t =
+  for i = 0 to t.length - 1 do
+    f i (get t i)
+  done
+
+let iter f t = iteri (fun _ value -> f value) t
+
+let exists predicate t =
+  let rec scan i =
+    i < t.length && (predicate (get t i) || scan (i + 1))
+  in
+  scan 0
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun value -> acc := f !acc value) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc value -> value :: acc) [] t)
+
+let clear t =
+  Array.fill t.slots 0 (capacity t) None;
+  t.head <- 0;
+  t.length <- 0
+
+let drop_while_back predicate t =
+  let dropped = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && t.length > 0 do
+    let last = get t (t.length - 1) in
+    if predicate last then begin
+      t.slots.(index t (t.length - 1)) <- None;
+      t.length <- t.length - 1;
+      incr dropped
+    end
+    else continue_ := false
+  done;
+  !dropped

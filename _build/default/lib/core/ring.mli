@@ -1,0 +1,39 @@
+(** Bounded circular buffers — the hardware queues (IFQ, decouple buffer,
+    LSQ ordering) of the simulated processor. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val space : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append at the tail. Raises [Failure] when full. *)
+
+val peek : 'a t -> 'a option
+(** Oldest element. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the oldest element. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the element [i] places from the head (0 = oldest).
+    Raises [Invalid_argument] when out of range. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest to newest. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit
+
+val drop_while_back : ('a -> bool) -> 'a t -> int
+(** Remove elements from the tail (newest first) while the predicate
+    holds; returns how many were removed. Used by squash. *)

@@ -1,0 +1,32 @@
+(** Reorder Buffer (the paper's RB): the in-order window of in-flight
+    instructions, RUU-style. Head = oldest. *)
+
+type t
+
+val create : entries:int -> t
+val capacity : t -> int
+val length : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val dispatch : t -> Resim_trace.Record.t -> Entry.t
+(** Allocate the next entry (fails when full — check {!is_full} first). *)
+
+val head : t -> Entry.t option
+val pop_head : t -> Entry.t option
+(** Commit: remove the oldest entry. *)
+
+val get : t -> int -> Entry.t
+(** [get t i]: the entry [i] places from the head. *)
+
+val iter : (Entry.t -> unit) -> t -> unit
+(** Oldest to youngest. *)
+
+val find : (Entry.t -> bool) -> t -> Entry.t option
+
+val squash_younger : t -> than_id:int -> int
+(** Remove every entry whose id is greater than [than_id]; returns how
+    many were removed. *)
+
+val next_id : t -> int
+(** The id the next dispatched entry will receive. *)

@@ -1,0 +1,89 @@
+type pull_state = {
+  pull : unit -> Resim_trace.Record.t option;
+  mutable window : Resim_trace.Record.t array;
+  mutable base : int;       (* absolute index of window.(0) *)
+  mutable length : int;     (* valid records in the window *)
+  mutable exhausted : bool;
+  mutable reclaim_below : int;
+}
+
+type t =
+  | Whole of Resim_trace.Record.t array
+  | Windowed of pull_state
+
+let of_array records = Whole records
+
+let initial_window = 1024
+
+let of_pull pull =
+  Windowed
+    { pull;
+      window = Array.make initial_window Resim_trace.Record.
+        { pc = 0; wrong_path = false; dest = 0; src1 = 0; src2 = 0;
+          payload = Other { op_class = Alu } };
+      base = 0;
+      length = 0;
+      exhausted = false;
+      reclaim_below = 0 }
+
+(* Drop reclaimed records by shifting the window down; grow it when the
+   producer runs ahead of reclamation. *)
+let compact state =
+  let drop = min state.length (max 0 (state.reclaim_below - state.base)) in
+  if drop > 0 then begin
+    Array.blit state.window drop state.window 0 (state.length - drop);
+    state.base <- state.base + drop;
+    state.length <- state.length - drop
+  end
+
+let append state record =
+  if state.length = Array.length state.window then begin
+    compact state;
+    if state.length = Array.length state.window then begin
+      let bigger = Array.make (2 * Array.length state.window) record in
+      Array.blit state.window 0 bigger 0 state.length;
+      state.window <- bigger
+    end
+  end;
+  state.window.(state.length) <- record;
+  state.length <- state.length + 1
+
+let rec fill_to state index =
+  if state.base + state.length > index || state.exhausted then ()
+  else
+    match state.pull () with
+    | Some record ->
+        append state record;
+        fill_to state index
+    | None -> state.exhausted <- true
+
+let at t index =
+  match t with
+  | Whole records ->
+      if index < 0 then invalid_arg "Source.at: negative index"
+      else if index < Array.length records then Some records.(index)
+      else None
+  | Windowed state ->
+      if index < state.base then
+        invalid_arg "Source.at: index already reclaimed";
+      fill_to state index;
+      if index < state.base + state.length then
+        Some state.window.(index - state.base)
+      else None
+
+let release_below t index =
+  match t with
+  | Whole _ -> ()
+  | Windowed state ->
+      if index > state.reclaim_below then begin
+        state.reclaim_below <- index;
+        (* Compact lazily but keep the window from growing without
+           bound when the producer is bursty. *)
+        if state.reclaim_below - state.base > Array.length state.window / 2
+        then compact state
+      end
+
+let buffered t =
+  match t with
+  | Whole records -> Array.length records
+  | Windowed state -> state.length

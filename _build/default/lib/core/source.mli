@@ -1,0 +1,31 @@
+(** Record sources for the engine.
+
+    The engine walks its input monotonically (a cursor plus one-record
+    lookahead for Tag-Bit detection), so besides whole in-memory arrays
+    it can consume records *pulled on demand* from a live producer — the
+    paper's future-work idea of feeding ReSim directly from a functional
+    simulator, as in FAST. A pull source buffers a sliding window and
+    reclaims records once the engine's cursor has passed them, keeping
+    memory bounded for arbitrarily long co-simulations. *)
+
+type t
+
+val of_array : Resim_trace.Record.t array -> t
+
+val of_pull : (unit -> Resim_trace.Record.t option) -> t
+(** [of_pull next] produces records by calling [next] on demand; [None]
+    ends the stream. *)
+
+val at : t -> int -> Resim_trace.Record.t option
+(** [at source index] is the record at absolute position [index], pulling
+    from the producer as needed. [None] means the stream ended before
+    [index]. Raises [Invalid_argument] if [index] was already reclaimed
+    by {!release_below}. *)
+
+val release_below : t -> int -> unit
+(** Allow the source to reclaim storage for records at positions strictly
+    below [index]. No-op for array sources. *)
+
+val buffered : t -> int
+(** Records currently held in memory (diagnostics; the array source
+    reports the full array length). *)

@@ -1,0 +1,77 @@
+(** Simulation statistics.
+
+    Mirrors §V.B: ReSim collects sim-outorder-like statistics in 64-bit
+    registers — instruction/branch/memory counts, cache behaviour, queue
+    occupancies and detailed branch information. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> (t -> int64 ref) -> unit
+val add : t -> (t -> int64 ref) -> int64 -> unit
+
+val major_cycles : t -> int64 ref
+val fetched : t -> int64 ref
+(** All records entering the IFQ, wrong path included. *)
+
+val fetched_wrong_path : t -> int64 ref
+val discarded_wrong_path : t -> int64 ref
+(** Tagged records skipped at branch resolution without being fetched. *)
+
+val dispatched : t -> int64 ref
+val issued : t -> int64 ref
+val committed : t -> int64 ref
+val committed_branches : t -> int64 ref
+val committed_cond_branches : t -> int64 ref
+val committed_loads : t -> int64 ref
+val committed_stores : t -> int64 ref
+val committed_mult_div : t -> int64 ref
+val mispredictions : t -> int64 ref
+(** Squashes at commit (direction mispredictions in the trace). *)
+
+val misfetches : t -> int64 ref
+val forwarded_loads : t -> int64 ref
+val icache_stall_cycles : t -> int64 ref
+val fetch_penalty_cycles : t -> int64 ref
+val rob_full_stalls : t -> int64 ref
+val lsq_full_stalls : t -> int64 ref
+val write_port_stalls : t -> int64 ref
+val read_port_stalls : t -> int64 ref
+
+(** {1 Per-cycle width distributions} *)
+
+val commit_width_histogram : t -> Histogram.t
+(** Instructions committed per major cycle. *)
+
+val issue_width_histogram : t -> Histogram.t
+(** Instructions issued per major cycle. *)
+
+val observe_commit_width : t -> int -> unit
+val observe_issue_width : t -> int -> unit
+
+(** {1 Occupancy accumulators} (sampled once per major cycle) *)
+
+val sample_occupancy : t -> ifq:int -> rob:int -> lsq:int -> unit
+val mean_ifq_occupancy : t -> float
+val mean_rob_occupancy : t -> float
+val mean_lsq_occupancy : t -> float
+
+(** {1 Derived} *)
+
+val ipc : t -> float
+(** Committed instructions per major cycle. *)
+
+val fetched_per_cycle : t -> float
+(** All fetched records (wrong path included) per major cycle — the
+    Table 3 throughput basis. *)
+
+val get : (t -> int64 ref) -> t -> int64
+
+val to_assoc : t -> (string * int64) list
+(** Every counter as a (name, value) pair, for CSV/JSON export and for
+    whole-state comparisons in tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/fpga/area.ml: Device Float Format List

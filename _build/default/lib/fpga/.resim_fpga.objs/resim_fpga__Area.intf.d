@@ -1,0 +1,1 @@
+lib/fpga/area.mli: Device Format

@@ -1,0 +1,1 @@
+lib/fpga/frequency.ml: Device

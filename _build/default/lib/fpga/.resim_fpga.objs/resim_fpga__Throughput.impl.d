@@ -1,0 +1,1 @@
+lib/fpga/throughput.ml: Int64

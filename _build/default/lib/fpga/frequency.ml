@@ -1,0 +1,15 @@
+type implementation = Serial | Parallel of { width : int }
+
+let log2 x = log x /. log 2.0
+
+let minor_cycle_mhz device implementation =
+  let base = device.Device.minor_cycle_mhz in
+  match implementation with
+  | Serial -> base
+  | Parallel { width } ->
+      if width <= 1 then base
+      else base *. (1.0 -. (0.22 *. log2 (float_of_int width) /. log2 4.0))
+
+let area_multiplier = function
+  | Serial -> 1.0
+  | Parallel { width } -> float_of_int (max 1 width)

@@ -1,0 +1,19 @@
+(** Minor-cycle frequency model.
+
+    The paper achieves 84 MHz (Virtex-4) and 105 MHz (Virtex-5) for the
+    serial implementation. It also reports that a truly parallel 4-wide
+    Fetch was 22 % slower (besides costing 4x the area) — the observation
+    that motivated the serial execution model. We encode that datum as a
+    width-dependent degradation so the serial-vs-parallel trade-off can be
+    swept in the ablation bench. *)
+
+type implementation = Serial | Parallel of { width : int }
+
+val minor_cycle_mhz : Device.t -> implementation -> float
+(** Serial: the device's published frequency. Parallel: degraded by 22 %
+    at width 4, scaled as [1 - 0.22 * log2 width / log2 4] (a parallel
+    1-wide unit {e is} the serial unit). *)
+
+val area_multiplier : implementation -> float
+(** Parallel hardware replicates per-slot logic: 4x at width 4 (the
+    paper's measurement), modelled as [width] replicas. *)

@@ -1,0 +1,13 @@
+let simulated_cycles_per_second ~mhz ~minor_cycles_per_major =
+  mhz *. 1e6 /. float_of_int minor_cycles_per_major
+
+let mips ~mhz ~minor_cycles_per_major ~instructions ~major_cycles =
+  if Int64.equal major_cycles 0L then 0.0
+  else
+    let ipc = Int64.to_float instructions /. Int64.to_float major_cycles in
+    simulated_cycles_per_second ~mhz ~minor_cycles_per_major *. ipc /. 1e6
+
+let trace_mbytes_per_second ~mips ~bits_per_instruction =
+  mips *. bits_per_instruction /. 8.0
+
+let speedup ~ours ~theirs = if theirs = 0.0 then infinity else ours /. theirs

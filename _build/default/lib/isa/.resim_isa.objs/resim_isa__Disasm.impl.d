@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Buffer Hashtbl Instruction List Opcode Printf Program Reg

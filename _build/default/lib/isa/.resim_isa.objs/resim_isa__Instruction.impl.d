@@ -1,0 +1,1 @@
+lib/isa/instruction.ml: Format List Opcode Reg

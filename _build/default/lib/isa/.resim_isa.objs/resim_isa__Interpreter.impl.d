@@ -1,0 +1,1 @@
+lib/isa/interpreter.ml: Instruction Machine Opcode Program Reg

@@ -1,0 +1,1 @@
+lib/isa/interpreter.mli: Instruction Machine Opcode Program

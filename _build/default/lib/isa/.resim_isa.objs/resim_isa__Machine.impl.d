@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Hashtbl Int64 List Program Reg

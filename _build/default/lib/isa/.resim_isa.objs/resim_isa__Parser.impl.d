@@ -1,0 +1,1 @@
+lib/isa/parser.ml: Asm Fun List Printf Reg String

@@ -1,0 +1,139 @@
+type undo =
+  | Reg_was of Reg.t * int
+  | Word_was of int * int option
+  | Byte_was of int * int option
+  | Pc_was of int
+  | Halted_was of bool
+  | Retired_was of int64
+
+type t = {
+  regs : int array;
+  words : (int, int) Hashtbl.t;   (* word-aligned byte addr -> value *)
+  bytes : (int, int) Hashtbl.t;   (* byte addr -> value, for lb/sb *)
+  mutable pc : int;
+  mutable halted : bool;
+  mutable retired : int64;
+  mutable journal : undo list;
+  mutable journal_len : int;
+  mutable journaling : int;       (* nesting depth of live checkpoints *)
+}
+
+type checkpoint = { mark : int }
+(* [mark] is the journal length when the checkpoint was taken; rollback
+   undoes entries until the journal shrinks back to [mark]. *)
+
+let default_stack_base = 0x7f_f000
+
+let create ?program () =
+  let m =
+    { regs = Array.make Reg.count 0;
+      words = Hashtbl.create 1024;
+      bytes = Hashtbl.create 64;
+      pc = 0;
+      halted = false;
+      retired = 0L;
+      journal = [];
+      journal_len = 0;
+      journaling = 0 }
+  in
+  m.regs.(Reg.to_int Reg.sp) <- default_stack_base;
+  (match program with
+  | None -> ()
+  | Some p ->
+      m.pc <- p.Program.entry;
+      List.iter (fun (addr, value) -> Hashtbl.replace m.words (addr land lnot 3) value)
+        p.Program.data);
+  m
+
+let note m entry =
+  if m.journaling > 0 then begin
+    m.journal <- entry :: m.journal;
+    m.journal_len <- m.journal_len + 1
+  end
+
+let read_reg m reg = m.regs.(Reg.to_int reg)
+
+let write_reg m reg value =
+  if not (Reg.equal reg Reg.zero) then begin
+    note m (Reg_was (reg, m.regs.(Reg.to_int reg)));
+    m.regs.(Reg.to_int reg) <- value
+  end
+
+let align addr = addr land lnot 3
+
+let read_word m addr =
+  match Hashtbl.find_opt m.words (align addr) with
+  | Some value -> value
+  | None -> 0
+
+let write_word m addr value =
+  let addr = align addr in
+  note m (Word_was (addr, Hashtbl.find_opt m.words addr));
+  Hashtbl.replace m.words addr value
+
+let read_byte m addr =
+  match Hashtbl.find_opt m.bytes addr with
+  | Some value -> value
+  | None -> read_word m addr land 0xff
+
+let write_byte m addr value =
+  note m (Byte_was (addr, Hashtbl.find_opt m.bytes addr));
+  Hashtbl.replace m.bytes addr (value land 0xff)
+
+let pc m = m.pc
+
+let set_pc m value =
+  note m (Pc_was m.pc);
+  m.pc <- value
+
+let halted m = m.halted
+
+let set_halted m value =
+  note m (Halted_was m.halted);
+  m.halted <- value
+
+let instructions_retired m = m.retired
+
+let incr_retired m =
+  note m (Retired_was m.retired);
+  m.retired <- Int64.add m.retired 1L
+
+let checkpoint m =
+  m.journaling <- m.journaling + 1;
+  { mark = m.journal_len }
+
+let undo_one m = function
+  | Reg_was (reg, value) -> m.regs.(Reg.to_int reg) <- value
+  | Word_was (addr, Some value) -> Hashtbl.replace m.words addr value
+  | Word_was (addr, None) -> Hashtbl.remove m.words addr
+  | Byte_was (addr, Some value) -> Hashtbl.replace m.bytes addr value
+  | Byte_was (addr, None) -> Hashtbl.remove m.bytes addr
+  | Pc_was value -> m.pc <- value
+  | Halted_was value -> m.halted <- value
+  | Retired_was value -> m.retired <- value
+
+let rec unwind m target =
+  if m.journal_len > target then
+    match m.journal with
+    | [] -> m.journal_len <- 0
+    | entry :: rest ->
+        m.journal <- rest;
+        m.journal_len <- m.journal_len - 1;
+        undo_one m entry;
+        unwind m target
+
+let reset_if_idle m =
+  if m.journaling = 0 then begin
+    m.journal <- [];
+    m.journal_len <- 0
+  end
+
+let rollback m cp =
+  unwind m cp.mark;
+  m.journaling <- max 0 (m.journaling - 1);
+  reset_if_idle m
+
+let discard m cp =
+  ignore cp.mark;
+  m.journaling <- max 0 (m.journaling - 1);
+  reset_if_idle m

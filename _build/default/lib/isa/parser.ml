@@ -1,0 +1,179 @@
+exception Parse_error of { line : int; message : string }
+
+let fail ~line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let aliases =
+  [ ("zero", 0); ("v0", 2); ("a0", 4); ("a1", 5); ("a2", 6);
+    ("t0", 8); ("t1", 9); ("t2", 10); ("t3", 11); ("t4", 12); ("t5", 13);
+    ("t6", 14); ("t7", 15);
+    ("s0", 16); ("s1", 17); ("s2", 18); ("s3", 19);
+    ("gp", 28); ("sp", 29); ("ra", 31) ]
+
+let register_of_string name =
+  match List.assoc_opt name aliases with
+  | Some number -> Some (Reg.of_int number)
+  | None ->
+      if String.length name >= 2 && name.[0] = 'r' then
+        match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+        | Some number when number >= 0 && number < Reg.count ->
+            Some (Reg.of_int number)
+        | Some _ | None -> None
+      else None
+
+let parse_register ~line token =
+  match register_of_string token with
+  | Some reg -> reg
+  | None -> fail ~line "expected a register, got %S" token
+
+let parse_immediate ~line token =
+  match int_of_string_opt token with
+  | Some value -> value
+  | None -> fail ~line "expected an immediate, got %S" token
+
+(* "8(t0)" -> (8, t0); "(t0)" -> (0, t0). *)
+let parse_displacement ~line token =
+  match String.index_opt token '(' with
+  | None -> fail ~line "expected displacement(base), got %S" token
+  | Some open_paren ->
+      if token.[String.length token - 1] <> ')' then
+        fail ~line "missing ')' in %S" token
+      else begin
+        let disp_text = String.sub token 0 open_paren in
+        let base_text =
+          String.sub token (open_paren + 1)
+            (String.length token - open_paren - 2)
+        in
+        let disp =
+          if disp_text = "" then 0 else parse_immediate ~line disp_text
+        in
+        (disp, parse_register ~line base_text)
+      end
+
+let strip_comment text =
+  let cut position =
+    match position with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  cut (String.index_opt text '#') |> fun text ->
+  (match String.index_opt text ';' with
+  | Some i -> String.sub text 0 i
+  | None -> text)
+
+let tokenize text =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' || c = ',' then ' ' else c) text)
+  |> List.filter (fun token -> token <> "")
+
+type directive = Stmt of Asm.stmt list | Entry of string | Data of int * int
+
+let parse_line ~line text =
+  let text = String.trim (strip_comment text) in
+  if text = "" then []
+  else begin
+    (* Leading labels: "name:" possibly followed by an instruction. *)
+    let rec split_labels acc text =
+      match String.index_opt text ':' with
+      | Some i
+        when i > 0
+             && String.for_all
+                  (fun c ->
+                    c = '_' || c = '.'
+                    || (c >= 'a' && c <= 'z')
+                    || (c >= 'A' && c <= 'Z')
+                    || (c >= '0' && c <= '9'))
+                  (String.sub text 0 i) ->
+          let label = String.sub text 0 i in
+          let rest = String.trim (String.sub text (i + 1) (String.length text - i - 1)) in
+          split_labels (label :: acc) rest
+      | Some _ | None -> (List.rev acc, text)
+    in
+    let labels, rest = split_labels [] text in
+    let label_stmts = List.map (fun l -> Stmt [ Asm.label l ]) labels in
+    if rest = "" then label_stmts
+    else begin
+      let tokens = tokenize rest in
+      let reg = parse_register ~line in
+      let imm = parse_immediate ~line in
+      let stmt =
+        match tokens with
+        | [ ".entry"; label ] -> Entry label
+        | [ ".word"; addr; value ] -> Data (imm addr, imm value)
+        | [ op; d; a; b ]
+          when List.mem op
+                 [ "add"; "sub"; "and"; "or"; "xor"; "sll"; "srl"; "sra";
+                   "slt"; "mul"; "div"; "rem" ] ->
+            let build =
+              match op with
+              | "add" -> Asm.add | "sub" -> Asm.sub | "and" -> Asm.and_
+              | "or" -> Asm.or_ | "xor" -> Asm.xor | "sll" -> Asm.sll
+              | "srl" -> Asm.srl | "sra" -> Asm.sra | "slt" -> Asm.slt
+              | "mul" -> Asm.mul | "div" -> Asm.div | _ -> Asm.rem
+            in
+            Stmt [ build (reg d) (reg a) (reg b) ]
+        | [ op; d; a; value ]
+          when List.mem op [ "addi"; "andi"; "ori"; "xori"; "slti" ] ->
+            let build =
+              match op with
+              | "addi" -> Asm.addi | "andi" -> Asm.andi | "ori" -> Asm.ori
+              | "xori" -> Asm.xori | _ -> Asm.slti
+            in
+            Stmt [ build (reg d) (reg a) (imm value) ]
+        | [ "lui"; d; value ] -> Stmt [ Asm.lui (reg d) (imm value) ]
+        | [ "li"; d; value ] -> Stmt [ Asm.li (reg d) (imm value) ]
+        | [ "mv"; d; s ] -> Stmt [ Asm.mv (reg d) (reg s) ]
+        | [ op; r; address ] when List.mem op [ "lw"; "lb"; "sw"; "sb" ] ->
+            let disp, base = parse_displacement ~line address in
+            let build =
+              match op with
+              | "lw" -> Asm.lw | "lb" -> Asm.lb | "sw" -> Asm.sw
+              | _ -> Asm.sb
+            in
+            Stmt [ build (reg r) disp base ]
+        | [ op; a; b; target ]
+          when List.mem op [ "beq"; "bne"; "blt"; "bge" ] ->
+            let build =
+              match op with
+              | "beq" -> Asm.beq | "bne" -> Asm.bne | "blt" -> Asm.blt
+              | _ -> Asm.bge
+            in
+            Stmt [ build (reg a) (reg b) target ]
+        | [ "j"; target ] -> Stmt [ Asm.j target ]
+        | [ "jal"; target ] -> Stmt [ Asm.jal target ]
+        | [ "jr"; source ] -> Stmt [ Asm.jr (reg source) ]
+        | [ "jalr"; d; source ] -> Stmt [ Asm.jalr (reg d) (reg source) ]
+        | [ "nop" ] -> Stmt [ Asm.nop ]
+        | [ "halt" ] -> Stmt [ Asm.halt ]
+        | op :: _ -> fail ~line "cannot parse %S instruction here" op
+        | [] -> Stmt []
+      in
+      label_stmts @ [ stmt ]
+    end
+  end
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let directives =
+    List.concat (List.mapi (fun i text -> parse_line ~line:(i + 1) text) lines)
+  in
+  let stmts =
+    List.concat_map (function Stmt s -> s | Entry _ | Data _ -> []) directives
+  in
+  let entry =
+    List.fold_left
+      (fun acc directive ->
+        match directive with Entry label -> Some label | Stmt _ | Data _ -> acc)
+      None directives
+  in
+  let data =
+    List.filter_map
+      (function Data (addr, value) -> Some (addr, value) | Stmt _ | Entry _ -> None)
+      directives
+  in
+  Asm.assemble ?entry ~data stmts
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,36 @@
+(** Textual assembly parser.
+
+    Accepts the conventional notation for the PISA-like ISA, one
+    statement per line:
+
+    {v
+    # a comment ('#' or ';' to end of line)
+    main:                     # labels end with ':'
+        li   t0, 42
+        addi t1, t0, -3
+        lw   t2, 8(t0)        # displacement(base)
+        sw   t2, 0(sp)
+        beq  t0, t1, done
+        jal  subroutine
+        j    main
+    done:
+        halt
+    .entry main               # optional entry point
+    .word 0x1000 7            # initial data memory (address value)
+    v}
+
+    Registers are written [r0]–[r31] or by alias ([zero], [ra], [sp],
+    [gp], [v0], [a0]–[a2], [t0]–[t7], [s0]–[s3]). Immediates accept
+    decimal and [0x]/[0o]/[0b] literals, with an optional sign. *)
+
+exception Parse_error of { line : int; message : string }
+(** Raised with a 1-based source line number. *)
+
+val parse : string -> Program.t
+(** Parse a whole source text. Raises {!Parse_error} on syntax errors
+    and {!Asm.Unknown_label}/{!Asm.Duplicate_label} on label errors. *)
+
+val parse_file : string -> Program.t
+
+val register_of_string : string -> Reg.t option
+(** Exposed for tooling/tests: resolve a register name or alias. *)

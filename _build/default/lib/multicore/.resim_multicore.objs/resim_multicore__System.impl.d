@@ -1,0 +1,1 @@
+lib/multicore/system.ml: Format Int64 List Option Resim_cache Resim_core Resim_fpga Resim_trace

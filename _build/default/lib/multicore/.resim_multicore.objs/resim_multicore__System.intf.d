@@ -1,0 +1,1 @@
+lib/multicore/system.mli: Format Resim_core Resim_fpga Resim_trace

@@ -1,0 +1,59 @@
+(** Multi-core ReSim — the paper's future-work direction made concrete
+    (§VI: “it is possible to fit multiple ReSim instances in a single
+    FPGA and simulate multi-core systems”).
+
+    A system is a set of per-core ReSim engines stepped in lockstep, as
+    co-resident instances sharing one FPGA clock would run. Cores are
+    independent (private traces, private caches) — the shared-memory
+    interconnect is out of the paper's scope — so per-core results equal
+    standalone runs, which an integration test asserts. The module also
+    answers the sizing questions: does the system fit a device, and what
+    aggregate simulation throughput does it reach? *)
+
+type core_spec = {
+  name : string;
+  records : Resim_trace.Record.t array;
+  config : Resim_core.Config.t;
+}
+
+type t
+
+val create : core_spec list -> t
+(** Raises [Invalid_argument] on an empty list or when configurations
+    mix internal organizations or widths (co-resident instances share
+    the minor-cycle schedule). *)
+
+val core_count : t -> int
+val step : t -> unit
+(** One major cycle on every unfinished core. *)
+
+val finished : t -> bool
+val run : ?max_cycles:int64 -> t -> unit
+
+type core_result = {
+  core : string;
+  stats : Resim_core.Stats.t;
+  finished_at : int64;  (** lockstep cycle the core drained at *)
+}
+
+val results : t -> core_result list
+
+val elapsed_cycles : t -> int64
+(** Lockstep major cycles so far (= the slowest core's cycles when
+    finished). *)
+
+val aggregate_committed : t -> int64
+
+val aggregate_mips : t -> device:Resim_fpga.Device.t -> float
+(** Total simulated instructions per second across cores at the device's
+    minor-cycle frequency: all cores advance one major cycle every
+    [L] minor cycles. *)
+
+val area : t -> Resim_fpga.Area.report
+(** Cost of one core times the core count is an upper bound; this
+    reports the per-core estimate — combine with {!fits}. *)
+
+val fits : t -> Resim_fpga.Device.t -> bool
+(** Do [core_count] instances fit the device, per the area model? *)
+
+val pp : Format.formatter -> t -> unit

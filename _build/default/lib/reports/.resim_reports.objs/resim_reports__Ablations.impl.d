@@ -1,0 +1,1 @@
+lib/reports/ablations.ml: Format Int64 List Resim_baseline Resim_bpred Resim_cache Resim_core Resim_fpga Resim_trace Resim_tracegen Resim_workloads Runner

@@ -1,0 +1,1 @@
+lib/reports/csv_export.ml: Filename Fun List Paper_data Printf Resim_fpga String Table1 Table2 Table3 Table4

@@ -1,0 +1,1 @@
+lib/reports/csv_export.mli:

@@ -1,0 +1,1 @@
+lib/reports/figures.ml: Format List Resim_core

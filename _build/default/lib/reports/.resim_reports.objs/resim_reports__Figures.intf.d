@@ -1,0 +1,1 @@
+lib/reports/figures.mli: Format

@@ -1,0 +1,1 @@
+lib/reports/paper_data.mli:

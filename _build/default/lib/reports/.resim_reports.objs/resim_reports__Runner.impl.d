@@ -1,0 +1,1 @@
+lib/reports/runner.ml: Hashtbl Resim_core Resim_tracegen Resim_workloads

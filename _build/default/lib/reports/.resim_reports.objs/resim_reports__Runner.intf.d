@@ -1,0 +1,1 @@
+lib/reports/runner.mli: Resim_core Resim_fpga Resim_tracegen Resim_workloads

@@ -1,0 +1,1 @@
+lib/reports/table1.ml: Format List Paper_data Resim_core Resim_fpga Resim_workloads Runner

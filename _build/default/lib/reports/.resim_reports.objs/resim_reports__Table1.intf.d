@@ -1,0 +1,1 @@
+lib/reports/table1.mli: Format

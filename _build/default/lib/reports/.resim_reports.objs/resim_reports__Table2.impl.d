@@ -1,0 +1,1 @@
+lib/reports/table2.ml: Format List Paper_data Resim_fpga Table1

@@ -1,0 +1,1 @@
+lib/reports/table2.mli: Format

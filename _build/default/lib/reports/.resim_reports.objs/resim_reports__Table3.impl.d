@@ -1,0 +1,1 @@
+lib/reports/table3.ml: Format Int64 List Paper_data Resim_core Resim_fpga Resim_workloads Runner

@@ -1,0 +1,1 @@
+lib/reports/table3.mli: Format

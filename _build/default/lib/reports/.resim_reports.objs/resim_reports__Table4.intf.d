@@ -1,0 +1,1 @@
+lib/reports/table4.mli: Format Resim_fpga

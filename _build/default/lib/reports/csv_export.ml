@@ -1,0 +1,107 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let row oc cells = output_string oc (String.concat "," cells ^ "\n")
+
+let write_table1 path =
+  with_out path (fun oc ->
+      row oc
+        [ "benchmark"; "left_v4"; "left_v4_paper"; "left_v5"; "left_v5_paper";
+          "right_v4"; "right_v4_paper"; "right_v5"; "right_v5_paper" ];
+      List.iter
+        (fun (r : Table1.row) ->
+          let paper =
+            if r.benchmark = "Average" then Paper_data.table1_average
+            else
+              List.find
+                (fun (p : Paper_data.table1_row) -> p.benchmark = r.benchmark)
+                Paper_data.table1
+          in
+          row oc
+            [ r.benchmark;
+              Printf.sprintf "%.2f" r.left_v4;
+              Printf.sprintf "%.2f" paper.left_v4;
+              Printf.sprintf "%.2f" r.left_v5;
+              Printf.sprintf "%.2f" paper.left_v5;
+              Printf.sprintf "%.2f" r.right_v4;
+              Printf.sprintf "%.2f" paper.right_v4;
+              Printf.sprintf "%.2f" r.right_v5;
+              Printf.sprintf "%.2f" paper.right_v5 ])
+        (Table1.rows ()))
+
+let write_table2 path =
+  with_out path (fun oc ->
+      row oc [ "simulator"; "isa"; "speed_mips"; "measured" ];
+      List.iter
+        (fun (r : Table2.row) ->
+          row oc
+            [ r.simulator; r.isa;
+              Printf.sprintf "%.2f" r.speed_mips;
+              string_of_bool r.measured ])
+        (Table2.rows ()))
+
+let write_table3 path =
+  with_out path (fun oc ->
+      row oc
+        [ "benchmark"; "bits_per_instr"; "bits_per_instr_paper";
+          "throughput_mips"; "throughput_mips_paper"; "trace_mbytes_s";
+          "trace_mbytes_s_paper"; "wrong_path_overhead" ];
+      List.iter
+        (fun (r : Table3.row) ->
+          let paper =
+            if r.benchmark = "Average" then Paper_data.table3_average
+            else
+              List.find
+                (fun (p : Paper_data.table3_row) ->
+                  p.benchmark3 = r.benchmark)
+                Paper_data.table3
+          in
+          row oc
+            [ r.benchmark;
+              Printf.sprintf "%.2f" r.bits_per_instr;
+              Printf.sprintf "%.2f" paper.bits_per_instr;
+              Printf.sprintf "%.2f" r.throughput_mips;
+              Printf.sprintf "%.2f" paper.throughput_mips;
+              Printf.sprintf "%.2f" r.trace_mbytes_s;
+              Printf.sprintf "%.2f" paper.trace_mbytes_s;
+              Printf.sprintf "%.4f" r.wrong_path_overhead ])
+        (Table3.rows ()))
+
+let write_table4 path =
+  let report = Table4.report () in
+  with_out path (fun oc ->
+      row oc
+        [ "structure"; "slices"; "luts"; "brams"; "slice_pct";
+          "slice_pct_paper" ];
+      List.iter
+        (fun (structure, (cost : Resim_fpga.Area.cost)) ->
+          let name = Resim_fpga.Area.structure_name structure in
+          let paper =
+            List.find
+              (fun (p : Paper_data.table4_row) -> p.structure = name)
+              Paper_data.table4
+          in
+          row oc
+            [ name;
+              string_of_int cost.slices;
+              string_of_int cost.luts;
+              string_of_int cost.brams;
+              Printf.sprintf "%.1f"
+                (Resim_fpga.Area.percentage report structure);
+              Printf.sprintf "%.1f" paper.slice_pct ])
+        report.per_structure)
+
+let write_all ~dir =
+  let targets =
+    [ ("resim_table1.csv", write_table1);
+      ("resim_table2.csv", write_table2);
+      ("resim_table3.csv", write_table3);
+      ("resim_table4.csv", write_table4) ]
+  in
+  List.map
+    (fun (name, write) ->
+      let path = Filename.concat dir name in
+      write path;
+      path)
+    targets

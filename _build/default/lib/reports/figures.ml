@@ -1,0 +1,50 @@
+let figure ppf ~number ~caption organization =
+  let schedule = Resim_core.Minor_cycle.build organization ~width:4 in
+  Format.fprintf ppf "@[<v>Figure %d: %s@,@,%s@]" number caption
+    (Resim_core.Minor_cycle.render schedule)
+
+let print_figure2 ppf =
+  figure ppf ~number:2
+    ~caption:
+      "simple serial pipeline — Writeback and Lsq_refresh precede Issue; \
+       each Issue is split into Issue + Cache Access (2N+3 minor cycles)"
+    Resim_core.Config.Simple
+
+let print_figure3 ppf =
+  figure ppf ~number:3
+    ~caption:
+      "improved pipeline — Issue overlaps Writeback via early broadcast; \
+       cache access precedes writeback (N+4 minor cycles)"
+    Resim_core.Config.Improved
+
+let print_figure4 ppf =
+  figure ppf ~number:4
+    ~caption:
+      "optimized pipeline — Lsq_refresh in parallel with the first Issue \
+       slot, which excludes loads (N+3 minor cycles, memory ports <= N-1)"
+    Resim_core.Config.Optimized
+
+let print_latency_table ppf =
+  Format.fprintf ppf
+    "@[<v>Major-cycle latency in minor cycles (formulas 2N+3 / N+4 / \
+     N+3):@,@,%6s %8s %10s %10s@," "width" "simple" "improved" "optimized";
+  List.iter
+    (fun width ->
+      let latency organization =
+        Resim_core.Config.minor_cycles_per_major organization ~width
+      in
+      Format.fprintf ppf "%6d %8d %10d %10d@," width
+        (latency Resim_core.Config.Simple)
+        (latency Resim_core.Config.Improved)
+        (latency Resim_core.Config.Optimized))
+    [ 1; 2; 3; 4; 6; 8 ];
+  Format.fprintf ppf "@]"
+
+let print_all ppf =
+  print_figure2 ppf;
+  Format.fprintf ppf "@.@.";
+  print_figure3 ppf;
+  Format.fprintf ppf "@.@.";
+  print_figure4 ppf;
+  Format.fprintf ppf "@.@.";
+  print_latency_table ppf

@@ -1,0 +1,86 @@
+type table1_row = {
+  benchmark : string;
+  left_v4 : float;
+  left_v5 : float;
+  right_v4 : float;
+  right_v5 : float;
+  fast_muops : float;
+}
+
+let table1 =
+  [ { benchmark = "gzip"; left_v4 = 23.26; left_v5 = 29.07;
+      right_v4 = 20.44; right_v5 = 25.55; fast_muops = 2.95 };
+    { benchmark = "bzip2"; left_v4 = 27.55; left_v5 = 34.44;
+      right_v4 = 18.53; right_v5 = 23.16; fast_muops = 3.51 };
+    { benchmark = "parser"; left_v4 = 19.94; left_v5 = 24.92;
+      right_v4 = 16.70; right_v5 = 20.88; fast_muops = 2.82 };
+    { benchmark = "vortex"; left_v4 = 23.57; left_v5 = 29.46;
+      right_v4 = 16.83; right_v5 = 21.04; fast_muops = 2.19 };
+    { benchmark = "vpr"; left_v4 = 20.38; left_v5 = 25.48;
+      right_v4 = 19.16; right_v5 = 23.95; fast_muops = 2.48 } ]
+
+let table1_average =
+  { benchmark = "Average"; left_v4 = 22.94; left_v5 = 28.67;
+    right_v4 = 18.33; right_v5 = 22.92; fast_muops = 2.79 }
+
+type table2_row = { simulator : string; isa : string; speed_mips : float }
+
+let table2 =
+  [ { simulator = "PTLSim"; isa = "x86-64"; speed_mips = 0.27 };
+    { simulator = "sim-outorder"; isa = "PISA"; speed_mips = 0.30 };
+    { simulator = "GEMS"; isa = "Sparc"; speed_mips = 0.07 };
+    { simulator = "FAST"; isa = "x86, gshare BP"; speed_mips = 1.2 };
+    { simulator = "FAST"; isa = "x86, perfect BP"; speed_mips = 2.79 };
+    { simulator = "A-Ports"; isa = "MIPS subset, 4-wide"; speed_mips = 4.70 };
+    { simulator = "ReSim"; isa = "PISA, 2-wide, perfect BP, Virtex5";
+      speed_mips = 22.92 };
+    { simulator = "ReSim"; isa = "PISA, 4-wide, 2-lev BP, Virtex5";
+      speed_mips = 28.67 } ]
+
+type table3_row = {
+  benchmark3 : string;
+  bits_per_instr : float;
+  throughput_mips : float;
+  trace_mbytes_s : float;
+}
+
+let table3 =
+  [ { benchmark3 = "gzip"; bits_per_instr = 41.74; throughput_mips = 26.37;
+      trace_mbytes_s = 137.56 };
+    { benchmark3 = "bzip2"; bits_per_instr = 41.16; throughput_mips = 29.43;
+      trace_mbytes_s = 151.39 };
+    { benchmark3 = "parser"; bits_per_instr = 43.66; throughput_mips = 22.83;
+      trace_mbytes_s = 124.58 };
+    { benchmark3 = "vortex"; bits_per_instr = 47.14; throughput_mips = 24.47;
+      trace_mbytes_s = 144.20 };
+    { benchmark3 = "vpr"; bits_per_instr = 43.52; throughput_mips = 24.44;
+      trace_mbytes_s = 132.94 } ]
+
+let table3_average =
+  { benchmark3 = "Average"; bits_per_instr = 43.44; throughput_mips = 25.51;
+    trace_mbytes_s = 138.13 }
+
+type table4_row = {
+  structure : string;
+  slice_pct : float;
+  lut_pct : float;
+  bram_pct : float;
+}
+
+let table4 =
+  [ { structure = "fetch"; slice_pct = 25.0; lut_pct = 23.0; bram_pct = 0.0 };
+    { structure = "disp"; slice_pct = 9.0; lut_pct = 5.0; bram_pct = 0.0 };
+    { structure = "issue"; slice_pct = 5.0; lut_pct = 7.0; bram_pct = 0.0 };
+    { structure = "lsq"; slice_pct = 14.0; lut_pct = 19.0; bram_pct = 0.0 };
+    { structure = "wb"; slice_pct = 3.0; lut_pct = 4.0; bram_pct = 0.0 };
+    { structure = "cmt"; slice_pct = 2.0; lut_pct = 2.0; bram_pct = 0.0 };
+    { structure = "RT"; slice_pct = 3.0; lut_pct = 4.0; bram_pct = 0.0 };
+    { structure = "RB"; slice_pct = 13.0; lut_pct = 14.0; bram_pct = 0.0 };
+    { structure = "LSQ"; slice_pct = 6.0; lut_pct = 4.0; bram_pct = 0.0 };
+    { structure = "BP"; slice_pct = 2.0; lut_pct = 2.0; bram_pct = 71.0 };
+    { structure = "D-C"; slice_pct = 17.0; lut_pct = 15.0; bram_pct = 0.0 };
+    { structure = "I-C"; slice_pct = 1.0; lut_pct = 1.0; bram_pct = 29.0 } ]
+
+let table4_totals = (12273, 17175, 7)
+
+let fast_area = (29230, 172)

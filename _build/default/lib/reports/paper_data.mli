@@ -1,0 +1,49 @@
+(** Published numbers from the paper, kept verbatim for side-by-side
+    comparison in every regenerated table (Fytraki & Pnevmatikatos,
+    DATE 2009). *)
+
+type table1_row = {
+  benchmark : string;
+  left_v4 : float;   (** 4-issue, 2-level BP, perfect memory, MIPS *)
+  left_v5 : float;
+  right_v4 : float;  (** 2-issue, perfect BP, 32 KB L1s, MIPS *)
+  right_v5 : float;
+  fast_muops : float (** FAST, 2-issue, perfect BP, simulated Muops/s *)
+}
+
+val table1 : table1_row list
+(** gzip, bzip2, parser, vortex, vpr — plus use {!table1_average}. *)
+
+val table1_average : table1_row
+
+(** Table 2: simulator speed survey. *)
+type table2_row = { simulator : string; isa : string; speed_mips : float }
+
+val table2 : table2_row list
+(** Published rows only (PTLsim, sim-outorder, GEMS, FAST x2, A-Ports,
+    ReSim x2); the bench appends our measured rows. *)
+
+type table3_row = {
+  benchmark3 : string;
+  bits_per_instr : float;
+  throughput_mips : float;   (** includes mis-speculated instructions *)
+  trace_mbytes_s : float;
+}
+
+val table3 : table3_row list
+val table3_average : table3_row
+
+(** Table 4: area breakdown (% of total design slices/LUTs/BRAMs). *)
+type table4_row = {
+  structure : string;
+  slice_pct : float;
+  lut_pct : float;
+  bram_pct : float;
+}
+
+val table4 : table4_row list
+val table4_totals : int * int * int
+(** (slices, 4-input LUTs, BRAMs) excluding the caches. *)
+
+val fast_area : int * int
+(** FAST on Virtex-4: (slices, BRAMs) — 2.4x and 24x ReSim. *)

@@ -1,0 +1,47 @@
+type run = {
+  kernel : string;
+  config : Resim_core.Config.t;
+  generated : Resim_tracegen.Generator.result;
+  outcome : Resim_core.Resim.outcome;
+}
+
+type scale_spec = Evaluation | Default | Exact of int
+
+let cache : (string * string * int, run) Hashtbl.t = Hashtbl.create 32
+
+let run_kernel ~key ~config ?(scale = Evaluation) workload =
+  let module K = (val workload : Resim_workloads.Kernel_sig.S) in
+  let scale_tag =
+    match scale with
+    | Evaluation -> K.evaluation_scale
+    | Default -> -1
+    | Exact scale -> scale
+  in
+  let cache_key = (key, K.name, scale_tag) in
+  match Hashtbl.find_opt cache cache_key with
+  | Some run -> run
+  | None ->
+      let program =
+        match scale with
+        | Evaluation -> K.program ~scale:K.evaluation_scale ()
+        | Default -> K.program ()
+        | Exact scale -> K.program ~scale ()
+      in
+      let generator =
+        { Resim_tracegen.Generator.predictor =
+            config.Resim_core.Config.predictor;
+          wrong_path_limit = config.rob_entries + config.ifq_entries;
+          max_instructions = 20_000_000 }
+      in
+      let generated = Resim_tracegen.Generator.run ~config:generator program in
+      let outcome = Resim_core.Resim.simulate_trace ~config generated.records in
+      let run = { kernel = K.name; config; generated; outcome } in
+      Hashtbl.replace cache cache_key run;
+      run
+
+let clear_cache () = Hashtbl.reset cache
+
+let mips run ~device = Resim_core.Resim.mips run.outcome ~device
+
+let mips_wrong_path run ~device =
+  Resim_core.Resim.mips_with_wrong_path run.outcome ~device

@@ -1,0 +1,33 @@
+(** Shared experiment runner with memoisation.
+
+    Tables 1 and 3 and several ablations reuse the same
+    (kernel, configuration) simulations; traces and outcomes are cached
+    per [key] so each experiment runs once per bench invocation. *)
+
+type run = {
+  kernel : string;
+  config : Resim_core.Config.t;
+  generated : Resim_tracegen.Generator.result;
+  outcome : Resim_core.Resim.outcome;
+}
+
+(** Which input size to run a kernel at. *)
+type scale_spec =
+  | Evaluation      (** the kernel's [evaluation_scale] — table runs *)
+  | Default         (** the kernel's default scale — quick ablations *)
+  | Exact of int
+
+val run_kernel :
+  key:string ->
+  config:Resim_core.Config.t ->
+  ?scale:scale_spec ->
+  Resim_workloads.Workload.t ->
+  run
+(** [key] identifies the configuration for memoisation (e.g. ["left"]);
+    it must change whenever [config] does. [scale] defaults to
+    [Evaluation]. *)
+
+val clear_cache : unit -> unit
+
+val mips : run -> device:Resim_fpga.Device.t -> float
+val mips_wrong_path : run -> device:Resim_fpga.Device.t -> float

@@ -1,0 +1,66 @@
+type row = {
+  benchmark : string;
+  left_v4 : float;
+  left_v5 : float;
+  right_v4 : float;
+  right_v5 : float;
+}
+
+let v4 = Resim_fpga.Device.virtex4_xc4vlx40
+let v5 = Resim_fpga.Device.virtex5_xc5vlx50t
+
+let measure workload =
+  let left =
+    Runner.run_kernel ~key:"table1-left" ~config:Resim_core.Config.reference
+      workload
+  in
+  let right =
+    Runner.run_kernel ~key:"table1-right"
+      ~config:Resim_core.Config.fast_comparable workload
+  in
+  { benchmark = Runner.(left.kernel);
+    left_v4 = Runner.mips left ~device:v4;
+    left_v5 = Runner.mips left ~device:v5;
+    right_v4 = Runner.mips right ~device:v4;
+    right_v5 = Runner.mips right ~device:v5 }
+
+let average rows =
+  let n = float_of_int (List.length rows) in
+  let sum f = List.fold_left (fun acc row -> acc +. f row) 0.0 rows /. n in
+  { benchmark = "Average";
+    left_v4 = sum (fun r -> r.left_v4);
+    left_v5 = sum (fun r -> r.left_v5);
+    right_v4 = sum (fun r -> r.right_v4);
+    right_v5 = sum (fun r -> r.right_v5) }
+
+let rows () =
+  let measured = List.map measure Resim_workloads.Workload.all in
+  measured @ [ average measured ]
+
+let print ppf =
+  let measured = rows () in
+  Format.fprintf ppf
+    "@[<v>Table 1: ReSim simulation performance (MIPS), measured vs paper@,\
+     Left: 4-issue, 2-level BP, perfect memory (L = 7).  \
+     Right: 2-issue, perfect BP, 32KB L1s (L = 6).@,@,";
+  Format.fprintf ppf
+    "%-8s | %21s | %21s | %21s | %21s | %s@,"
+    "SPEC" "left V4 (ours/paper)" "left V5 (ours/paper)"
+    "right V4 (ours/paper)" "right V5 (ours/paper)" "FAST Muops (paper)";
+  List.iter
+    (fun row ->
+      let paper =
+        if row.benchmark = "Average" then Paper_data.table1_average
+        else
+          List.find
+            (fun (p : Paper_data.table1_row) -> p.benchmark = row.benchmark)
+            Paper_data.table1
+      in
+      Format.fprintf ppf
+        "%-8s | %10.2f / %8.2f | %10.2f / %8.2f | %10.2f / %8.2f | \
+         %10.2f / %8.2f | %8.2f@,"
+        row.benchmark row.left_v4 paper.left_v4 row.left_v5 paper.left_v5
+        row.right_v4 paper.right_v4 row.right_v5 paper.right_v5
+        paper.fast_muops)
+    measured;
+  Format.fprintf ppf "@]"

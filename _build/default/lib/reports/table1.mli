@@ -1,0 +1,21 @@
+(** Table 1 — ReSim simulation performance.
+
+    Left portion: 4-issue processor, 2-level branch predictor, perfect
+    memory, Optimized organization (L = N+3 = 7 minor cycles), on
+    Virtex-4 and Virtex-5. Right portion: 2-issue processor, perfect
+    branch predictor, 32 KB 8-way 64 B L1 I- and D-caches, Improved
+    organization (L = N+4 = 6), with FAST's published Muops/s for
+    reference. *)
+
+type row = {
+  benchmark : string;
+  left_v4 : float;
+  left_v5 : float;
+  right_v4 : float;
+  right_v5 : float;
+}
+
+val rows : unit -> row list
+(** Measured rows for the five kernels plus the average (last). *)
+
+val print : Format.formatter -> unit

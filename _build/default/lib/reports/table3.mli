@@ -1,0 +1,20 @@
+(** Table 3 — ReSim throughput statistics and trace-bandwidth demand.
+
+    Perfect memory system, Virtex-4, per benchmark: average trace bits
+    per instruction, simulation throughput *including* mis-speculated
+    instructions, and the implied input-trace bandwidth in MB/s. Also
+    reports the misprediction instruction overhead the paper puts at
+    about 10 %. *)
+
+type row = {
+  benchmark : string;
+  bits_per_instr : float;
+  throughput_mips : float;
+  trace_mbytes_s : float;
+  wrong_path_overhead : float;  (** fetched wrong-path / fetched *)
+}
+
+val rows : unit -> row list
+(** Five kernels plus the average (last). *)
+
+val print : Format.formatter -> unit

@@ -1,0 +1,39 @@
+let report () = Resim_fpga.Area.estimate Resim_fpga.Area.reference_params
+
+let print ppf =
+  let area = report () in
+  Format.fprintf ppf
+    "@[<v>Table 4: area cost on Virtex-4 xc4vlx40 (model vs paper)@,@,\
+     %-7s | %8s %8s %6s | %12s %8s@,"
+    "struct" "slices" "LUTs" "BRAMs" "slice%(ours)" "(paper)";
+  List.iter
+    (fun (structure, (cost : Resim_fpga.Area.cost)) ->
+      let name = Resim_fpga.Area.structure_name structure in
+      let paper =
+        List.find
+          (fun (p : Paper_data.table4_row) -> p.structure = name)
+          Paper_data.table4
+      in
+      Format.fprintf ppf "%-7s | %8d %8d %6d | %11.1f%% %7.1f%%@," name
+        cost.slices cost.luts cost.brams
+        (Resim_fpga.Area.percentage area structure)
+        paper.slice_pct)
+    area.per_structure;
+  let slices, luts, brams = Paper_data.table4_totals in
+  Format.fprintf ppf
+    "@,totals excluding caches: ours %d slices / %d LUTs / %d BRAMs; \
+     paper %d / %d / %d@,"
+    area.total.slices area.total.luts area.total.brams slices luts brams;
+  let fast_slices, fast_brams = Paper_data.fast_area in
+  Format.fprintf ppf
+    "FAST 4-wide on Virtex-4: %d slices (%.1fx ours), %d BRAMs (%.0fx \
+     ours incl caches); paper reports 2.4x and 24x@,"
+    fast_slices
+    (float_of_int fast_slices /. float_of_int area.total.slices)
+    fast_brams
+    (float_of_int fast_brams
+    /. float_of_int (max 1 area.total_with_caches.brams));
+  let device = Resim_fpga.Device.virtex4_xc4vlx40 in
+  Format.fprintf ppf "fits %s: %b (%.0f%% of slices)@]" device.name
+    (Resim_fpga.Area.fits area device)
+    (100.0 *. Resim_fpga.Area.utilisation area device)

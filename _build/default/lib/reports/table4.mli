@@ -1,0 +1,9 @@
+(** Table 4 — area cost on the Virtex-4 (xc4vlx40).
+
+    Our parametric area model evaluated at the reference 4-wide
+    configuration, per structure and in total, next to the published
+    percentages and totals, plus the FAST area comparison (2.4x slices,
+    24x BRAMs) and the device-fit check. *)
+
+val report : unit -> Resim_fpga.Area.report
+val print : Format.formatter -> unit

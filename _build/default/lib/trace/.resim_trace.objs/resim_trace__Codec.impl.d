@@ -1,0 +1,1 @@
+lib/trace/codec.ml: Array Bitio Buffer Char Fun Int64 Printf Record Resim_isa String

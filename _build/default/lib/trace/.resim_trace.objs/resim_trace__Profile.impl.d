@@ -1,0 +1,1 @@
+lib/trace/profile.ml: Array Format Hashtbl List Option Record Resim_isa Seq

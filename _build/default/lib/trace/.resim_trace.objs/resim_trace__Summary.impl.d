@@ -1,0 +1,1 @@
+lib/trace/summary.ml: Array Format Record

@@ -1,0 +1,86 @@
+module Writer = struct
+  type t = {
+    buffer : Buffer.t;
+    mutable acc : int;     (* pending bits, left-aligned in [acc_bits] *)
+    mutable acc_bits : int;
+    mutable total : int;
+  }
+
+  let create () = { buffer = Buffer.create 4096; acc = 0; acc_bits = 0; total = 0 }
+
+  let flush_bytes w =
+    while w.acc_bits >= 8 do
+      let shift = w.acc_bits - 8 in
+      Buffer.add_char w.buffer (Char.chr ((w.acc lsr shift) land 0xff));
+      w.acc <- w.acc land ((1 lsl shift) - 1);
+      w.acc_bits <- shift
+    done
+
+  let put w ~bits value =
+    if bits <= 0 || bits > 62 then invalid_arg "Bitio.Writer.put: bits";
+    let masked = value land ((1 lsl bits) - 1) in
+    (* Emit in chunks small enough to keep [acc] within native int range. *)
+    let rec emit bits =
+      if bits > 0 then begin
+        let chunk = min bits (56 - w.acc_bits) in
+        let shift = bits - chunk in
+        w.acc <- (w.acc lsl chunk) lor ((masked lsr shift) land ((1 lsl chunk) - 1));
+        w.acc_bits <- w.acc_bits + chunk;
+        flush_bytes w;
+        emit shift
+      end
+    in
+    emit bits;
+    w.total <- w.total + bits
+
+  let put_bool w b = put w ~bits:1 (if b then 1 else 0)
+
+  let bit_length w = w.total
+
+  let contents w =
+    if w.acc_bits > 0 then begin
+      let pad = 8 - w.acc_bits in
+      w.acc <- w.acc lsl pad;
+      w.acc_bits <- 8;
+      flush_bytes w
+    end;
+    Buffer.contents w.buffer
+end
+
+module Reader = struct
+  type t = {
+    data : string;
+    mutable byte : int;
+    mutable bit : int;   (* bits already consumed of [data.[byte]] *)
+    mutable total : int;
+  }
+
+  exception Out_of_bits
+
+  let create data = { data; byte = 0; bit = 0; total = 0 }
+
+  let get_bit r =
+    if r.byte >= String.length r.data then raise Out_of_bits;
+    let value = (Char.code r.data.[r.byte] lsr (7 - r.bit)) land 1 in
+    if r.bit = 7 then begin
+      r.bit <- 0;
+      r.byte <- r.byte + 1
+    end
+    else r.bit <- r.bit + 1;
+    r.total <- r.total + 1;
+    value
+
+  let get r ~bits =
+    if bits <= 0 || bits > 62 then invalid_arg "Bitio.Reader.get: bits";
+    let rec loop acc remaining =
+      if remaining = 0 then acc
+      else loop ((acc lsl 1) lor get_bit r) (remaining - 1)
+    in
+    loop 0 bits
+
+  let get_bool r = get r ~bits:1 = 1
+
+  let bits_consumed r = r.total
+
+  let bits_remaining r = (String.length r.data * 8) - r.total
+end

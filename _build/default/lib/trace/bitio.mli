@@ -1,0 +1,30 @@
+(** Bit-granular writer/reader used by the trace codec.
+
+    Bits are emitted most-significant-first within each byte. Values are
+    written as fixed-width unsigned fields; signed fields use the codec's
+    own zig-zag mapping. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val put : t -> bits:int -> int -> unit
+  (** [put w ~bits v] appends the low [bits] bits of [v] (1..62). *)
+
+  val put_bool : t -> bool -> unit
+  val bit_length : t -> int
+  val contents : t -> string
+  (** Flushes a final partial byte (zero-padded). *)
+end
+
+module Reader : sig
+  type t
+
+  exception Out_of_bits
+
+  val create : string -> t
+  val get : t -> bits:int -> int
+  val get_bool : t -> bool
+  val bits_consumed : t -> int
+  val bits_remaining : t -> int
+end

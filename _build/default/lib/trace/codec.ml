@@ -1,0 +1,218 @@
+type format = Fixed | Compact
+
+exception Corrupt of string
+
+let magic = "RSTR"
+let version = 1
+
+(* Field widths (bits). PCs and branch targets are instruction indices;
+   addresses are byte addresses. *)
+let type_bits = 2
+let reg_bits = 5
+let class_bits = 2
+let kind_bits = 3
+let pc_bits = 30
+let addr_bits = 32
+let selector_bits = 2
+
+let type_other = 0
+let type_memory = 1
+let type_branch = 2
+
+let class_code : Record.op_class -> int = function
+  | Alu -> 0
+  | Mult -> 1
+  | Divide -> 2
+
+let class_of_code = function
+  | 0 -> Record.Alu
+  | 1 -> Record.Mult
+  | 2 -> Record.Divide
+  | n -> raise (Corrupt (Printf.sprintf "op class %d" n))
+
+let kind_code : Resim_isa.Opcode.branch_kind -> int = function
+  | Cond -> 0 | Jump -> 1 | Call -> 2 | Ret -> 3 | Indirect -> 4
+
+let kind_of_code : int -> Resim_isa.Opcode.branch_kind = function
+  | 0 -> Cond | 1 -> Jump | 2 -> Call | 3 -> Ret | 4 -> Indirect
+  | n -> raise (Corrupt (Printf.sprintf "branch kind %d" n))
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (- (z land 1))
+
+(* Compact deltas: a 2-bit selector chooses an 8/16/24-bit zig-zag delta
+   or a full-width absolute escape. *)
+let put_delta w ~abs_bits ~value ~reference =
+  let delta = zigzag (value - reference) in
+  if delta < 1 lsl 8 then begin
+    Bitio.Writer.put w ~bits:selector_bits 0;
+    Bitio.Writer.put w ~bits:8 delta
+  end
+  else if delta < 1 lsl 16 then begin
+    Bitio.Writer.put w ~bits:selector_bits 1;
+    Bitio.Writer.put w ~bits:16 delta
+  end
+  else if delta < 1 lsl 24 then begin
+    Bitio.Writer.put w ~bits:selector_bits 2;
+    Bitio.Writer.put w ~bits:24 delta
+  end
+  else begin
+    Bitio.Writer.put w ~bits:selector_bits 3;
+    Bitio.Writer.put w ~bits:abs_bits value
+  end
+
+let get_delta r ~abs_bits ~reference =
+  match Bitio.Reader.get r ~bits:selector_bits with
+  | 0 -> reference + unzigzag (Bitio.Reader.get r ~bits:8)
+  | 1 -> reference + unzigzag (Bitio.Reader.get r ~bits:16)
+  | 2 -> reference + unzigzag (Bitio.Reader.get r ~bits:24)
+  | _ -> Bitio.Reader.get r ~bits:abs_bits
+
+type encoder_state = { mutable prev_pc : int; mutable prev_addr : int }
+
+let encode_record format w state (record : Record.t) =
+  let type_code =
+    match record.payload with
+    | Other _ -> type_other
+    | Memory _ -> type_memory
+    | Branch _ -> type_branch
+  in
+  Bitio.Writer.put w ~bits:type_bits type_code;
+  Bitio.Writer.put_bool w record.wrong_path;
+  Bitio.Writer.put w ~bits:reg_bits record.dest;
+  Bitio.Writer.put w ~bits:reg_bits record.src1;
+  Bitio.Writer.put w ~bits:reg_bits record.src2;
+  let sequential = record.pc = state.prev_pc + 1 in
+  Bitio.Writer.put_bool w sequential;
+  if not sequential then begin
+    match format with
+    | Fixed -> Bitio.Writer.put w ~bits:pc_bits record.pc
+    | Compact ->
+        put_delta w ~abs_bits:pc_bits ~value:record.pc
+          ~reference:(state.prev_pc + 1)
+  end;
+  state.prev_pc <- record.pc;
+  match record.payload with
+  | Other { op_class } ->
+      Bitio.Writer.put w ~bits:class_bits (class_code op_class)
+  | Memory { is_load; address } ->
+      Bitio.Writer.put_bool w is_load;
+      (match format with
+      | Fixed -> Bitio.Writer.put w ~bits:addr_bits address
+      | Compact ->
+          put_delta w ~abs_bits:addr_bits ~value:address
+            ~reference:state.prev_addr);
+      state.prev_addr <- address
+  | Branch { kind; taken; target } -> (
+      Bitio.Writer.put w ~bits:kind_bits (kind_code kind);
+      Bitio.Writer.put_bool w taken;
+      match format with
+      | Fixed -> Bitio.Writer.put w ~bits:pc_bits target
+      | Compact ->
+          put_delta w ~abs_bits:pc_bits ~value:target ~reference:record.pc)
+
+let decode_record format r state : Record.t =
+  let type_code = Bitio.Reader.get r ~bits:type_bits in
+  let wrong_path = Bitio.Reader.get_bool r in
+  let dest = Bitio.Reader.get r ~bits:reg_bits in
+  let src1 = Bitio.Reader.get r ~bits:reg_bits in
+  let src2 = Bitio.Reader.get r ~bits:reg_bits in
+  let sequential = Bitio.Reader.get_bool r in
+  let pc =
+    if sequential then state.prev_pc + 1
+    else
+      match format with
+      | Fixed -> Bitio.Reader.get r ~bits:pc_bits
+      | Compact -> get_delta r ~abs_bits:pc_bits ~reference:(state.prev_pc + 1)
+  in
+  state.prev_pc <- pc;
+  let payload =
+    if type_code = type_other then
+      Record.Other { op_class = class_of_code (Bitio.Reader.get r ~bits:class_bits) }
+    else if type_code = type_memory then begin
+      let is_load = Bitio.Reader.get_bool r in
+      let address =
+        match format with
+        | Fixed -> Bitio.Reader.get r ~bits:addr_bits
+        | Compact -> get_delta r ~abs_bits:addr_bits ~reference:state.prev_addr
+      in
+      state.prev_addr <- address;
+      Record.Memory { is_load; address }
+    end
+    else if type_code = type_branch then begin
+      let kind = kind_of_code (Bitio.Reader.get r ~bits:kind_bits) in
+      let taken = Bitio.Reader.get_bool r in
+      let target =
+        match format with
+        | Fixed -> Bitio.Reader.get r ~bits:pc_bits
+        | Compact -> get_delta r ~abs_bits:pc_bits ~reference:pc
+      in
+      Record.Branch { kind; taken; target }
+    end
+    else raise (Corrupt (Printf.sprintf "record type %d" type_code))
+  in
+  { pc; wrong_path; dest; src1; src2; payload }
+
+let fresh_state () = { prev_pc = -1; prev_addr = 0 }
+
+let format_code = function Fixed -> 0 | Compact -> 1
+
+let format_of_code = function
+  | 0 -> Fixed
+  | 1 -> Compact
+  | n -> raise (Corrupt (Printf.sprintf "format %d" n))
+
+let payload_string ?(format = Fixed) records =
+  let w = Bitio.Writer.create () in
+  let state = fresh_state () in
+  Array.iter (encode_record format w state) records;
+  (Bitio.Writer.contents w, Bitio.Writer.bit_length w)
+
+let encode ?(format = Fixed) records =
+  let payload, _bits = payload_string ~format records in
+  let header = Buffer.create 16 in
+  Buffer.add_string header magic;
+  Buffer.add_uint8 header version;
+  Buffer.add_uint8 header (format_code format);
+  Buffer.add_int64_be header (Int64.of_int (Array.length records));
+  Buffer.contents header ^ payload
+
+let header_length = 4 + 1 + 1 + 8
+
+let decode data =
+  if String.length data < header_length then raise (Corrupt "truncated header");
+  if String.sub data 0 4 <> magic then raise (Corrupt "bad magic");
+  if Char.code data.[4] <> version then raise (Corrupt "bad version");
+  let format = format_of_code (Char.code data.[5]) in
+  let count = Int64.to_int (String.get_int64_be data 6) in
+  if count < 0 then raise (Corrupt "bad count");
+  let payload = String.sub data header_length (String.length data - header_length) in
+  let r = Bitio.Reader.create payload in
+  let state = fresh_state () in
+  let records =
+    try Array.init count (fun _ -> decode_record format r state)
+    with Bitio.Reader.Out_of_bits -> raise (Corrupt "truncated payload")
+  in
+  (records, format)
+
+let encoded_bits ?(format = Fixed) records =
+  let _payload, bits = payload_string ~format records in
+  bits
+
+let bits_per_instruction ?(format = Fixed) records =
+  if Array.length records = 0 then 0.0
+  else float_of_int (encoded_bits ~format records) /. float_of_int (Array.length records)
+
+let write_file ?format path records =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (encode ?format records))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let length = in_channel_length ic in
+      decode (really_input_string ic length))

@@ -1,0 +1,37 @@
+(** Trace analysis: the questions an architect asks of a trace before
+    simulating it — which branches dominate and how biased they are,
+    where the memory traffic lands, and what the instruction mix is.
+    Only correct-path records are profiled. *)
+
+type branch_site = {
+  pc : int;
+  executions : int;
+  taken : int;
+  taken_rate : float;
+}
+
+val hot_branches : ?top:int -> Record.t array -> branch_site list
+(** Most frequently executed conditional-branch sites, descending;
+    [top] defaults to 10. *)
+
+val hot_pages : ?top:int -> ?page_bytes:int -> Record.t array -> (int * int) list
+(** (page base address, accesses) for the most-touched memory pages;
+    [page_bytes] defaults to 4096 and must be a power of two. *)
+
+type mix = {
+  alu : float;
+  mult : float;
+  divide : float;
+  load : float;
+  store : float;
+  branch : float;
+}
+
+val instruction_mix : Record.t array -> mix
+(** Fractions of correct-path records per class (they sum to 1 for a
+    non-empty trace). *)
+
+val memory_footprint_bytes : Record.t array -> int
+(** Size of the touched address range at page granularity. *)
+
+val pp_report : Format.formatter -> Record.t array -> unit

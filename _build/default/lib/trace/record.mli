@@ -1,0 +1,39 @@
+(** Pre-decoded trace records.
+
+    The paper's trace uses three formats — Branch (B), Memory (M) and
+    Other (O) — “each with its own fields and length”, every one carrying
+    a *Tag Bit* that marks wrong-path instructions. Because the format is
+    pre-decoded and ISA-generic, ReSim works for any ISA that can be
+    described by it; the timing simulator consumes these records and never
+    executes anything. *)
+
+type op_class = Alu | Mult | Divide
+
+type payload =
+  | Branch of {
+      kind : Resim_isa.Opcode.branch_kind;
+      taken : bool;     (** actual outcome on the traced path *)
+      target : int;     (** actual target instruction index *)
+    }
+  | Memory of { is_load : bool; address : int (** byte address *) }
+  | Other of { op_class : op_class }
+
+type t = {
+  pc : int;             (** instruction index *)
+  wrong_path : bool;    (** the Tag Bit *)
+  dest : int;           (** destination register, 0 = none *)
+  src1 : int;           (** first source register, 0 = none *)
+  src2 : int;           (** second source register, 0 = none *)
+  payload : payload;
+}
+
+val is_branch : t -> bool
+val is_memory : t -> bool
+val is_load : t -> bool
+val is_store : t -> bool
+
+val of_observation : wrong_path:bool -> Resim_isa.Interpreter.observation -> t
+(** Pre-decode one executed instruction into its trace record. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

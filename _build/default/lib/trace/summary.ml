@@ -1,0 +1,52 @@
+type t = {
+  total : int;
+  correct_path : int;
+  wrong_path : int;
+  branches : int;
+  cond_branches : int;
+  taken_branches : int;
+  loads : int;
+  stores : int;
+  mults : int;
+  divides : int;
+}
+
+let zero =
+  { total = 0; correct_path = 0; wrong_path = 0; branches = 0;
+    cond_branches = 0; taken_branches = 0; loads = 0; stores = 0;
+    mults = 0; divides = 0 }
+
+let add acc (record : Record.t) =
+  let acc =
+    { acc with
+      total = acc.total + 1;
+      correct_path = acc.correct_path + (if record.wrong_path then 0 else 1);
+      wrong_path = acc.wrong_path + (if record.wrong_path then 1 else 0) }
+  in
+  match record.payload with
+  | Branch { kind; taken; _ } ->
+      { acc with
+        branches = acc.branches + 1;
+        cond_branches = (acc.cond_branches + match kind with Cond -> 1 | _ -> 0);
+        taken_branches = acc.taken_branches + (if taken then 1 else 0) }
+  | Memory { is_load; _ } ->
+      if is_load then { acc with loads = acc.loads + 1 }
+      else { acc with stores = acc.stores + 1 }
+  | Other { op_class = Mult } -> { acc with mults = acc.mults + 1 }
+  | Other { op_class = Divide } -> { acc with divides = acc.divides + 1 }
+  | Other { op_class = Alu } -> acc
+
+let of_records records = Array.fold_left add zero records
+
+let wrong_path_fraction t =
+  if t.total = 0 then 0.0 else float_of_int t.wrong_path /. float_of_int t.total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>records: %d (%d correct, %d wrong-path = %.1f%%)@,\
+     branches: %d (%d conditional, %d taken)@,\
+     memory: %d loads, %d stores@,\
+     long-latency: %d mult, %d div@]"
+    t.total t.correct_path t.wrong_path (100.0 *. wrong_path_fraction t)
+    t.branches t.cond_branches t.taken_branches t.loads t.stores t.mults
+    t.divides

@@ -1,0 +1,22 @@
+(** Aggregate statistics over a trace. *)
+
+type t = {
+  total : int;
+  correct_path : int;
+  wrong_path : int;          (** tagged records *)
+  branches : int;
+  cond_branches : int;
+  taken_branches : int;
+  loads : int;
+  stores : int;
+  mults : int;
+  divides : int;
+}
+
+val of_records : Record.t array -> t
+
+val wrong_path_fraction : t -> float
+(** Fraction of trace records that are tagged — the paper reports this
+    misprediction overhead at about 10 %. *)
+
+val pp : Format.formatter -> t -> unit

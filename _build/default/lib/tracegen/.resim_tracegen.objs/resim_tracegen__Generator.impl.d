@@ -1,0 +1,1 @@
+lib/tracegen/generator.ml: Array List Resim_bpred Resim_isa Resim_trace

@@ -1,0 +1,1 @@
+lib/tracegen/generator.mli: Resim_bpred Resim_isa Resim_trace

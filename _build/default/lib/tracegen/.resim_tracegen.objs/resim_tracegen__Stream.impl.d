@@ -1,0 +1,1 @@
+lib/tracegen/stream.ml: Generator Queue Resim_bpred Resim_isa Resim_trace

@@ -1,0 +1,1 @@
+lib/tracegen/stream.mli: Generator Resim_isa Resim_trace

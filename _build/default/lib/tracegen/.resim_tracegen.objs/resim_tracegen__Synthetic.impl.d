@@ -1,0 +1,1 @@
+lib/tracegen/synthetic.ml: Array Hashtbl List Random Resim_trace

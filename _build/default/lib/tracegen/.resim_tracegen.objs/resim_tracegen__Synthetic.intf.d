@@ -1,0 +1,1 @@
+lib/tracegen/synthetic.mli: Resim_trace

@@ -1,0 +1,89 @@
+module Isa = Resim_isa
+module Bpred = Resim_bpred
+module Trace = Resim_trace
+
+type config = {
+  predictor : Bpred.Predictor.config;
+  wrong_path_limit : int;
+  max_instructions : int;
+}
+
+let default_config =
+  { predictor = Bpred.Predictor.default_config;
+    wrong_path_limit = 16 + 4;
+    max_instructions = 1_000_000 }
+
+type result = {
+  records : Trace.Record.t array;
+  correct_path : int;
+  wrong_path : int;
+  mispredicted_branches : int;
+  executed_to_completion : bool;
+}
+
+let run ?(config = default_config) program =
+  let machine = Isa.Machine.create ~program () in
+  let predictor = Bpred.Predictor.create config.predictor in
+  let records = ref [] in
+  let count = ref 0 in
+  let correct = ref 0 in
+  let wrong = ref 0 in
+  let mispredicted = ref 0 in
+  let emit record = records := record :: !records in
+  let wrong_path_block wrong_pc =
+    let saved = Isa.Machine.checkpoint machine in
+    Isa.Machine.set_pc machine wrong_pc;
+    let rec loop emitted =
+      if emitted >= config.wrong_path_limit then ()
+      else
+        match Isa.Interpreter.step machine program with
+        | Halted_ -> ()
+        | Stepped obs ->
+            emit (Trace.Record.of_observation ~wrong_path:true obs);
+            incr wrong;
+            loop (emitted + 1)
+    in
+    loop 0;
+    Isa.Machine.rollback machine saved
+  in
+  let completed = ref false in
+  let rec step () =
+    if !count >= config.max_instructions then ()
+    else
+      match Isa.Interpreter.step machine program with
+      | Halted_ -> completed := true
+      | Stepped obs ->
+          incr count;
+          incr correct;
+          emit (Trace.Record.of_observation ~wrong_path:false obs);
+          (match obs.control with
+          | None -> ()
+          | Some { kind; taken; target } ->
+              let prediction =
+                Bpred.Predictor.predict predictor ~pc:obs.index ~kind
+                  ~fallthrough:(obs.index + 1) ~actual_taken:taken
+                  ~actual_target:target
+              in
+              Bpred.Predictor.update predictor ~pc:obs.index ~kind ~taken
+                ~target;
+              let direction_wrong = prediction.taken <> taken in
+              Bpred.Predictor.record_resolution predictor
+                ~correct:(not direction_wrong);
+              if direction_wrong && kind = Cond then begin
+                incr mispredicted;
+                (* The front end runs down the path the predictor chose:
+                   the static target when it said taken, the fall-through
+                   when it said not-taken. *)
+                let wrong_pc = if prediction.taken then target else obs.index + 1 in
+                wrong_path_block wrong_pc
+              end);
+          step ()
+  in
+  step ();
+  { records = Array.of_list (List.rev !records);
+    correct_path = !correct;
+    wrong_path = !wrong;
+    mispredicted_branches = !mispredicted;
+    executed_to_completion = !completed }
+
+let records ?config program = (run ?config program).records

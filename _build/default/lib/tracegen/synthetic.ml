@@ -1,0 +1,172 @@
+module Trace = Resim_trace
+
+type profile = {
+  name : string;
+  instructions : int;
+  loads : float;
+  stores : float;
+  branches : float;
+  calls : float;
+  mults : float;
+  divides : float;
+  dependency_density : float;
+  mispredict_rate : float;
+  taken_rate : float;
+  working_set_bytes : int;
+  sequential_locality : float;
+  wrong_path_limit : int;
+}
+
+let balanced ~name ~instructions =
+  { name;
+    instructions;
+    loads = 0.20;
+    stores = 0.10;
+    branches = 0.15;
+    calls = 0.01;
+    mults = 0.01;
+    divides = 0.002;
+    dependency_density = 0.35;
+    mispredict_rate = 0.05;
+    taken_rate = 0.6;
+    working_set_bytes = 64 * 1024;
+    sequential_locality = 0.7;
+    wrong_path_limit = 20 }
+
+(* Mutable generation context: program counter, last memory address and
+   the ring of recently-written destination registers that implements the
+   dependency-density knob. *)
+type context = {
+  rng : Random.State.t;
+  profile : profile;
+  mutable pc : int;
+  mutable last_addr : int;
+  recent : int array;        (* recently written registers *)
+  mutable recent_pos : int;
+}
+
+let fresh_context ~seed profile =
+  { rng = Random.State.make [| seed; Hashtbl.hash profile.name |];
+    profile;
+    pc = 0;
+    last_addr = 4096;
+    recent = Array.init 8 (fun i -> 1 + (i mod 31));
+    recent_pos = 0 }
+
+let pick_dest ctx =
+  let reg = 1 + Random.State.int ctx.rng 31 in
+  ctx.recent.(ctx.recent_pos) <- reg;
+  ctx.recent_pos <- (ctx.recent_pos + 1) mod Array.length ctx.recent;
+  reg
+
+let pick_src ctx =
+  if Random.State.float ctx.rng 1.0 < ctx.profile.dependency_density then
+    (* A register produced recently: likely still in flight. *)
+    ctx.recent.((ctx.recent_pos + Array.length ctx.recent - 1
+                 - Random.State.int ctx.rng 2)
+                mod Array.length ctx.recent)
+  else 1 + Random.State.int ctx.rng 31
+
+let pick_address ctx =
+  let addr =
+    if Random.State.float ctx.rng 1.0 < ctx.profile.sequential_locality then
+      ctx.last_addr + 4
+    else 4 * Random.State.int ctx.rng (max 1 (ctx.profile.working_set_bytes / 4))
+  in
+  let addr = addr mod max 4 ctx.profile.working_set_bytes in
+  ctx.last_addr <- addr;
+  addr
+
+type shape = Load | Store | Branch | Call | Mult | Divide | Alu
+
+let pick_shape ctx =
+  let p = ctx.profile in
+  let draw = Random.State.float ctx.rng 1.0 in
+  let thresholds =
+    [ (p.loads, Load); (p.stores, Store); (p.branches, Branch);
+      (p.calls, Call); (p.mults, Mult); (p.divides, Divide) ]
+  in
+  let rec choose acc = function
+    | [] -> Alu
+    | (fraction, shape) :: rest ->
+        let acc = acc +. fraction in
+        if draw < acc then shape else choose acc rest
+  in
+  choose 0.0 thresholds
+
+let record ctx ~wrong_path shape : Trace.Record.t =
+  let pc = ctx.pc in
+  let payload, dest, src1, src2 =
+    match shape with
+    | Load ->
+        (Trace.Record.Memory { is_load = true; address = pick_address ctx },
+         pick_dest ctx, pick_src ctx, 0)
+    | Store ->
+        (Trace.Record.Memory { is_load = false; address = pick_address ctx },
+         0, pick_src ctx, pick_src ctx)
+    | Branch ->
+        let taken = Random.State.float ctx.rng 1.0 < ctx.profile.taken_rate in
+        (* Mostly short backward loops, occasionally a forward skip. *)
+        let target =
+          if Random.State.bool ctx.rng then max 0 (pc - 1 - Random.State.int ctx.rng 64)
+          else pc + 2 + Random.State.int ctx.rng 16
+        in
+        (Trace.Record.Branch { kind = Cond; taken; target },
+         0, pick_src ctx, pick_src ctx)
+    | Call ->
+        let target = pc + 16 + Random.State.int ctx.rng 256 in
+        (Trace.Record.Branch { kind = Call; taken = true; target },
+         31, 0, 0)
+    | Mult ->
+        (Trace.Record.Other { op_class = Trace.Record.Mult },
+         pick_dest ctx, pick_src ctx, pick_src ctx)
+    | Divide ->
+        (Trace.Record.Other { op_class = Trace.Record.Divide },
+         pick_dest ctx, pick_src ctx, pick_src ctx)
+    | Alu ->
+        (Trace.Record.Other { op_class = Trace.Record.Alu },
+         pick_dest ctx, pick_src ctx, pick_src ctx)
+  in
+  let next_pc =
+    match payload with
+    | Trace.Record.Branch { taken = true; target; _ } -> target
+    | Trace.Record.Branch _ | Trace.Record.Memory _ | Trace.Record.Other _ ->
+        pc + 1
+  in
+  ctx.pc <- next_pc;
+  { pc; wrong_path; dest; src1; src2; payload }
+
+let generate ?(seed = 42) profile =
+  let ctx = fresh_context ~seed profile in
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  let emitted = ref 0 in
+  while !emitted < profile.instructions do
+    let shape = pick_shape ctx in
+    let r = record ctx ~wrong_path:false shape in
+    emit r;
+    incr emitted;
+    (match r.payload with
+    | Trace.Record.Branch { kind = Cond; taken; target } ->
+        if Random.State.float ctx.rng 1.0 < profile.mispredict_rate then begin
+          (* Wrong-path block: walk the path the branch did not take. *)
+          let saved_pc = ctx.pc in
+          ctx.pc <- (if taken then r.pc + 1 else target);
+          let block = min profile.wrong_path_limit (8 + Random.State.int ctx.rng 8) in
+          for _ = 1 to block do
+            let shape = pick_shape ctx in
+            let wrong =
+              match shape with
+              | Branch | Call -> record ctx ~wrong_path:true Alu
+              | Load | Store | Mult | Divide | Alu ->
+                  record ctx ~wrong_path:true shape
+            in
+            emit wrong
+          done;
+          ctx.pc <- saved_pc
+        end
+    | Trace.Record.Branch _ | Trace.Record.Memory _ | Trace.Record.Other _ ->
+        ());
+    ()
+  done;
+  Array.of_list (List.rev !out)

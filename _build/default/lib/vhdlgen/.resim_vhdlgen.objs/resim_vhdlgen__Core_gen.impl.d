@@ -1,0 +1,1 @@
+lib/vhdlgen/core_gen.ml: Filename Fun List Predictor_gen Printf Resim_core String Structures_gen Sys Vhdl

@@ -1,0 +1,1 @@
+lib/vhdlgen/core_gen.mli: Resim_core

@@ -1,0 +1,1 @@
+lib/vhdlgen/predictor_gen.ml: Fun List Printf Resim_bpred String Vhdl

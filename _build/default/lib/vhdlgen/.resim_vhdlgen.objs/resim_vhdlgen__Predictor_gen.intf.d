@@ -1,0 +1,1 @@
+lib/vhdlgen/predictor_gen.mli: Resim_bpred

@@ -1,0 +1,1 @@
+lib/vhdlgen/structures_gen.ml: Printf Resim_core Resim_isa Vhdl

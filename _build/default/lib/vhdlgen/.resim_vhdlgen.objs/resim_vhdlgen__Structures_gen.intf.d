@@ -1,0 +1,1 @@
+lib/vhdlgen/structures_gen.mli: Resim_core

@@ -1,0 +1,1 @@
+lib/vhdlgen/vhdl.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/vhdlgen/vhdl.mli:

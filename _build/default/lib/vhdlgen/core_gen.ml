@@ -1,0 +1,49 @@
+let params_package (config : Resim_core.Config.t) =
+  let constant name value =
+    Printf.sprintf "  constant %-24s : integer := %d;" name value
+  in
+  let lines =
+    [ constant "WIDTH" config.width;
+      constant "IFQ_ENTRIES" config.ifq_entries;
+      constant "DECOUPLE_ENTRIES" config.decouple_entries;
+      constant "ROB_ENTRIES" config.rob_entries;
+      constant "LSQ_ENTRIES" config.lsq_entries;
+      constant "ALU_COUNT" config.alu_count;
+      constant "ALU_LATENCY" config.alu_latency;
+      constant "MULT_COUNT" config.mult_count;
+      constant "MULT_LATENCY" config.mult_latency;
+      constant "DIV_COUNT" config.div_count;
+      constant "DIV_LATENCY" config.div_latency;
+      constant "MEM_READ_PORTS" config.mem_read_ports;
+      constant "MEM_WRITE_PORTS" config.mem_write_ports;
+      constant "MISFETCH_PENALTY" config.misfetch_penalty;
+      constant "MISSPEC_PENALTY" config.misspeculation_penalty;
+      constant "MINOR_CYCLES" (Resim_core.Config.minor_cycle_latency config);
+      Printf.sprintf "  constant %-24s : string  := \"%s\";" "ORGANIZATION"
+        (Resim_core.Config.organization_name config.organization) ]
+  in
+  Vhdl.header
+    ~description:
+      (Printf.sprintf "ReSim parameters: %d-wide, %s organization"
+         config.width
+         (Resim_core.Config.organization_name config.organization))
+  ^ "package resim_params is\n"
+  ^ String.concat "\n" lines
+  ^ "\nend package resim_params;\n"
+
+let generate_all (config : Resim_core.Config.t) =
+  (("resim_params.vhd", params_package config)
+  :: Predictor_gen.predictor_unit config.predictor)
+  @ Structures_gen.structures config
+
+let write_all ~dir config =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (name, contents) ->
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc contents);
+      path)
+    (generate_all config)

@@ -1,0 +1,17 @@
+(** Generation of the per-configuration parameter package and the full
+    bundle — the “software tool that would automatically produce custom
+    ReSim versions according to user parameters” named as future work in
+    §VI of the paper. *)
+
+val params_package : Resim_core.Config.t -> string
+(** [resim_params.vhd]: a package of constants (width, queue depths,
+    port counts, penalties, minor-cycle latency) that the hand-written
+    stage entities would import. *)
+
+val generate_all : Resim_core.Config.t -> (string * string) list
+(** Parameter package, the predictor unit and the storage structures
+    (IFQ, decouple buffer, rename table), as (filename, contents)
+    pairs. *)
+
+val write_all : dir:string -> Resim_core.Config.t -> string list
+(** Write the bundle into [dir] (created if missing); returns paths. *)

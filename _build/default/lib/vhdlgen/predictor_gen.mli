@@ -1,0 +1,24 @@
+(** VHDL generation for the branch-predictor unit.
+
+    §III of the paper: “We use a script to produce VHDL code for the
+    desired Branch Predictor according to the user parameters that
+    include: the RAS size, the number of entries and associativity of
+    the BTB, etc.” — this module is that script. Table sizes are baked
+    in as constants (VHDL array bounds are static), exactly as a
+    per-configuration generated core would have them. *)
+
+val direction_predictor : Resim_bpred.Direction.config -> string
+(** Entity [direction_predictor]: combinational [prediction] for
+    [predict_pc], synchronous training port. Static and perfect
+    configurations generate the corresponding trivial architectures
+    (the oracle's actual outcome arrives on a port). *)
+
+val btb : Resim_bpred.Btb.config -> string
+(** Entity [btb]: per-way tag/target memories with a round-robin
+    replacement pointer per set. *)
+
+val ras : depth:int -> string
+(** Entity [ras]: circular return-address stack. *)
+
+val predictor_unit : Resim_bpred.Predictor.config -> (string * string) list
+(** All three files, as (filename, contents). *)

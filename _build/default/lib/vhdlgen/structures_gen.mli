@@ -1,0 +1,21 @@
+(** VHDL generation for the parametric storage structures.
+
+    §III: “ReSim is designed to be parametrizable … coding ReSim in
+    parametrizable VHDL”. These generators emit the storage blocks the
+    stages are built from: the circular queues (IFQ, decouple buffer)
+    and the rename table. Depths and widths are baked in per
+    configuration, like the predictor generators. *)
+
+val circular_queue : name:string -> depth:int -> payload_bits:int -> string
+(** A synchronous FIFO with [depth] entries of [payload_bits] bits:
+    enqueue/dequeue ports, full/empty flags, occupancy count — the IFQ
+    and decouple buffer shape. *)
+
+val rename_table : registers:int -> rob_entries:int -> string
+(** Architectural-register → producing-ROB-entry map with a valid bit
+    per register, two read ports (src1/src2), one define port and one
+    clear port, plus the whole-table flush used at squash. *)
+
+val structures : Resim_core.Config.t -> (string * string) list
+(** The queues and rename table for a configuration, as
+    (filename, contents). *)

@@ -1,0 +1,1 @@
+lib/workloads/builders.ml: Asm Resim_isa

@@ -1,0 +1,1 @@
+lib/workloads/gzip_like.mli: Kernel_sig

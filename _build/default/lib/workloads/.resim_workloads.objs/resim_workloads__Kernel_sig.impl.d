@@ -1,0 +1,1 @@
+lib/workloads/kernel_sig.ml: Resim_isa Resim_tracegen

@@ -1,0 +1,1 @@
+lib/workloads/kernel_sig.mli: Resim_isa Resim_tracegen

@@ -1,0 +1,1 @@
+lib/workloads/parser_like.mli: Kernel_sig

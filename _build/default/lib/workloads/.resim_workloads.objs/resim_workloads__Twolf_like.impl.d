@@ -1,0 +1,1 @@
+lib/workloads/twolf_like.ml: Asm Builders Reg Resim_isa Resim_tracegen

@@ -1,0 +1,1 @@
+lib/workloads/twolf_like.mli: Kernel_sig

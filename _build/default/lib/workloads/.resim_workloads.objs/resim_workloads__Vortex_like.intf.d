@@ -1,0 +1,1 @@
+lib/workloads/vortex_like.mli: Kernel_sig

@@ -1,0 +1,1 @@
+lib/workloads/vpr_like.ml: Asm Builders Reg Resim_isa Resim_tracegen

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Bzip2_like Gzip_like Kernel_sig List Mcf_like Parser_like Twolf_like Vortex_like Vpr_like

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Kernel_sig Resim_isa Resim_tracegen

@@ -1,0 +1,5 @@
+(** The bzip2 stand-in: histogram, prefix sum, rank transform and BWT-decode chase.
+    See the implementation header for how the kernel reproduces the
+    original benchmark's character. *)
+
+include Kernel_sig.S

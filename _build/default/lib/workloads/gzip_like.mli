@@ -1,0 +1,5 @@
+(** The gzip stand-in: LZ77 hash-chain match finding.
+    See the implementation header for how the kernel reproduces the
+    original benchmark's character. *)
+
+include Kernel_sig.S

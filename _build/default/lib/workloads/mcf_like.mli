@@ -1,0 +1,5 @@
+(** The mcf stand-in: arc relaxation over an implicit network (extended workload).
+    See the implementation header for how the kernel reproduces the
+    original benchmark's character. *)
+
+include Kernel_sig.S

@@ -1,0 +1,5 @@
+(** The parser stand-in: linked-list build and pointer-chasing traversal.
+    See the implementation header for how the kernel reproduces the
+    original benchmark's character. *)
+
+include Kernel_sig.S

@@ -1,0 +1,5 @@
+(** The twolf stand-in: cell-swap wirelength deltas (extended workload).
+    See the implementation header for how the kernel reproduces the
+    original benchmark's character. *)
+
+include Kernel_sig.S

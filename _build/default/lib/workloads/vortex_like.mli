@@ -1,0 +1,5 @@
+(** The vortex stand-in: call-heavy hashed object store.
+    See the implementation header for how the kernel reproduces the
+    original benchmark's character. *)
+
+include Kernel_sig.S

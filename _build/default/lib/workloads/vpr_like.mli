@@ -1,0 +1,5 @@
+(** The vpr stand-in: grid placement cost with MAC and divide.
+    See the implementation header for how the kernel reproduces the
+    original benchmark's character. *)
+
+include Kernel_sig.S

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Int64 Resim_baseline Resim_core Resim_isa Resim_trace Resim_tracegen Resim_workloads

@@ -1,0 +1,1 @@
+test/test_bpred.ml: Alcotest Btb Direction Gen List Predictor QCheck QCheck_alcotest Ras Resim_bpred Resim_isa Saturating

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache Gen Int64 List QCheck QCheck_alcotest Resim_cache

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Int64 List QCheck QCheck_alcotest Resim_baseline Resim_cache Resim_core Resim_tracegen Resim_workloads String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Resim_cache Resim_core Resim_fpga Resim_isa Resim_multicore Resim_trace Resim_tracegen Resim_workloads

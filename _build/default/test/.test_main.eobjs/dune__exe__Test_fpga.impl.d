@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Area Device Frequency List QCheck QCheck_alcotest Resim_fpga Throughput

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Asm Fun Gen Instruction Int64 Interpreter List Machine Opcode Printf Program QCheck QCheck_alcotest Reg Resim_isa String

@@ -1,0 +1,1 @@
+test/test_reports.ml: Alcotest Filename Format Fun List Resim_core Resim_reports Resim_workloads String Sys

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Filename Fun Int64 List Resim_bpred Resim_core Resim_isa Resim_trace Resim_vhdlgen String Sys Unix

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Bitio Codec Filename Fun Gen List Printf Profile QCheck QCheck_alcotest Record Resim_isa Resim_trace String Summary Sys

@@ -1,0 +1,1 @@
+test/test_tracegen.ml: Alcotest Array Int64 QCheck QCheck_alcotest Resim_bpred Resim_core Resim_isa Resim_trace Resim_tracegen

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Resim_core Resim_isa Resim_trace Resim_tracegen Resim_workloads

@@ -1,0 +1,139 @@
+(* Tests for the FPGA device, area, frequency and throughput models. *)
+
+open Resim_fpga
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let close ?(eps = 1e-6) name expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %f, got %f" name expected actual
+
+let test_devices () =
+  check bool "v4 at 84MHz" true
+    (Device.virtex4_xc4vlx40.minor_cycle_mhz = 84.0);
+  check bool "v5 at 105MHz" true
+    (Device.virtex5_xc5vlx50t.minor_cycle_mhz = 105.0);
+  check int "three devices" 3 (List.length Device.all)
+
+let test_area_reference_matches_table4 () =
+  let report = Area.estimate Area.reference_params in
+  (* Published totals (excluding caches): 12 273 slices, 17 175 LUTs,
+     7 BRAMs. The model is calibrated to reproduce them to rounding. *)
+  check bool "slices close" true (abs (report.total.slices - 12273) <= 5);
+  check bool "luts close" true (abs (report.total.luts - 17175) <= 5);
+  (* The published BRAM total of 7 spans the predictor (5) and the
+     I-cache tags (2); the slice/LUT totals exclude the caches. *)
+  check int "predictor brams" 5 report.total.brams;
+  check int "brams incl caches" 7 report.total_with_caches.brams
+
+let test_area_percentages_match_paper () =
+  let report = Area.estimate Area.reference_params in
+  let expect =
+    [ (Area.Fetch_stage, 25.0); (Area.Dispatch_stage, 9.0);
+      (Area.Issue_stage, 5.0); (Area.Lsq_stage, 14.0);
+      (Area.Writeback_stage, 3.0); (Area.Commit_stage, 2.0);
+      (Area.Rename_table, 3.0); (Area.Reorder_buffer, 13.0);
+      (Area.Lsq_structure, 6.0); (Area.Branch_predictor, 2.0);
+      (Area.Dcache, 17.0); (Area.Icache, 1.0) ]
+  in
+  List.iter
+    (fun (structure, paper_pct) ->
+      let ours = Area.percentage report structure in
+      if abs_float (ours -. paper_pct) > 0.6 then
+        Alcotest.failf "%s: %.2f%% vs paper %.1f%%"
+          (Area.structure_name structure)
+          ours paper_pct)
+    expect
+
+let test_area_scaling_monotone () =
+  let base = Area.estimate Area.reference_params in
+  let bigger_rob =
+    Area.estimate { Area.reference_params with rob_entries = 64 }
+  in
+  let wider =
+    Area.estimate { Area.reference_params with width = 8; ifq_entries = 8 }
+  in
+  check bool "bigger ROB costs more" true
+    (bigger_rob.total.slices > base.total.slices);
+  check bool "wider costs more" true (wider.total.slices > base.total.slices);
+  let no_caches =
+    Area.estimate
+      { Area.reference_params with with_icache = false; with_dcache = false }
+  in
+  check bool "cacheless totals equal" true
+    (no_caches.total.slices = base.total.slices);
+  check bool "cacheless with-cache total smaller" true
+    (no_caches.total_with_caches.slices < base.total_with_caches.slices)
+
+let test_area_fits_devices () =
+  let report = Area.estimate Area.reference_params in
+  check bool "fits the V4 part" true (Area.fits report Device.virtex4_xc4vlx40);
+  check bool "utilisation sensible" true
+    (Area.utilisation report Device.virtex4_xc4vlx40 < 1.0);
+  check bool "large V5 fits several" true
+    (Area.instances_fitting report Device.virtex5_xc5vlx330t >= 8)
+
+let test_frequency_model () =
+  let v5 = Device.virtex5_xc5vlx50t in
+  close "serial is base" 105.0 (Frequency.minor_cycle_mhz v5 Serial);
+  (* The paper's datum: a parallel 4-wide unit is 22% slower. *)
+  close "parallel 4-wide" (105.0 *. 0.78)
+    (Frequency.minor_cycle_mhz v5 (Parallel { width = 4 }));
+  close "parallel 1-wide is serial" 105.0
+    (Frequency.minor_cycle_mhz v5 (Parallel { width = 1 }));
+  close "area multiplier" 4.0 (Frequency.area_multiplier (Parallel { width = 4 }));
+  close "serial area" 1.0 (Frequency.area_multiplier Serial)
+
+let test_throughput_model () =
+  (* 105 MHz, L = 7: 15 M simulated cycles/s; IPC 2 -> 30 MIPS. *)
+  close "mips" 30.0
+    (Throughput.mips ~mhz:105.0 ~minor_cycles_per_major:7
+       ~instructions:2000L ~major_cycles:1000L);
+  close "zero cycles" 0.0
+    (Throughput.mips ~mhz:105.0 ~minor_cycles_per_major:7 ~instructions:5L
+       ~major_cycles:0L);
+  (* 25.44 MIPS at 43.44 bits/instr: the paper's ~138 MB/s row. *)
+  close ~eps:0.01 "trace bandwidth"
+    (25.44 *. 43.44 /. 8.0)
+    (Throughput.trace_mbytes_per_second ~mips:25.44
+       ~bits_per_instruction:43.44);
+  close "speedup" 5.0 (Throughput.speedup ~ours:25.0 ~theirs:5.0)
+
+let area_never_negative =
+  QCheck.Test.make ~name:"area model yields non-negative costs" ~count:100
+    QCheck.(
+      quad (int_range 1 16) (int_range 1 128) (int_range 1 64)
+        (int_range 1 64))
+    (fun (width, rob, lsq, ifq) ->
+      let report =
+        Area.estimate
+          { Area.reference_params with
+            width;
+            rob_entries = rob;
+            lsq_entries = lsq;
+            ifq_entries = ifq;
+            decouple_entries = ifq }
+      in
+      List.for_all
+        (fun (_, (c : Area.cost)) ->
+          c.slices >= 0 && c.luts >= 0 && c.brams >= 0)
+        report.per_structure
+      && report.total_with_caches.slices >= report.total.slices)
+
+let suite =
+  [ ("fpga:device",
+     [ Alcotest.test_case "catalogue" `Quick test_devices ]);
+    ("fpga:area",
+     [ Alcotest.test_case "reference totals (Table 4)" `Quick
+         test_area_reference_matches_table4;
+       Alcotest.test_case "percentages (Table 4)" `Quick
+         test_area_percentages_match_paper;
+       Alcotest.test_case "scaling" `Quick test_area_scaling_monotone;
+       Alcotest.test_case "device fit" `Quick test_area_fits_devices;
+       QCheck_alcotest.to_alcotest area_never_negative ]);
+    ("fpga:frequency",
+     [ Alcotest.test_case "serial vs parallel" `Quick test_frequency_model ]);
+    ("fpga:throughput",
+     [ Alcotest.test_case "formulas" `Quick test_throughput_model ]) ]

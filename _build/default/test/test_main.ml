@@ -1,0 +1,18 @@
+(* Aggregated test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "resim"
+    (List.concat
+       [ Test_isa.suite;
+         Test_bpred.suite;
+         Test_cache.suite;
+         Test_trace.suite;
+         Test_fpga.suite;
+         Test_core.suite;
+         Test_tracegen.suite;
+         Test_baseline.suite;
+         Test_workloads.suite;
+         Test_reports.suite;
+         Test_extensions.suite;
+         Test_consistency.suite;
+         Test_tools.suite ])

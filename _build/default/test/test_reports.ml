@@ -1,0 +1,100 @@
+(* Tests for the report/bench layer: published constants and the shapes
+   of the regenerated tables (small-scale where simulation is needed). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_paper_constants () =
+  check int "five table-1 rows" 5 (List.length Resim_reports.Paper_data.table1);
+  check int "eight table-2 rows" 8 (List.length Resim_reports.Paper_data.table2);
+  check int "five table-3 rows" 5 (List.length Resim_reports.Paper_data.table3);
+  check int "twelve table-4 rows" 12
+    (List.length Resim_reports.Paper_data.table4);
+  (* Table 4 percentages sum to 100 per column. *)
+  let sum f =
+    List.fold_left
+      (fun acc (row : Resim_reports.Paper_data.table4_row) -> acc +. f row)
+      0.0 Resim_reports.Paper_data.table4
+  in
+  check bool "slice pct sums to 100" true
+    (abs_float (sum (fun r -> r.slice_pct) -. 100.0) < 0.01);
+  check bool "lut pct sums to 100" true
+    (abs_float (sum (fun r -> r.lut_pct) -. 100.0) < 0.01);
+  check bool "bram pct sums to 100" true
+    (abs_float (sum (fun r -> r.bram_pct) -. 100.0) < 0.01)
+
+let test_paper_average_consistency () =
+  (* The published per-benchmark values average to the published
+     averages (to rounding), a sanity check on our transcription. *)
+  let rows = Resim_reports.Paper_data.table1 in
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  let avg = Resim_reports.Paper_data.table1_average in
+  check bool "left v4 average" true
+    (abs_float (mean (fun (r : Resim_reports.Paper_data.table1_row) ->
+         r.left_v4) -. avg.left_v4) < 0.01);
+  check bool "left v5 average" true
+    (abs_float (mean (fun r -> r.left_v5) -. avg.left_v5) < 0.01)
+
+let test_table4_report_shape () =
+  let report = Resim_reports.Table4.report () in
+  check int "twelve structures" 12 (List.length report.per_structure);
+  let rendered =
+    Format.asprintf "%t" (fun ppf -> Resim_reports.Table4.print ppf)
+  in
+  check bool "prints totals" true
+    (String.length rendered > 200)
+
+let test_figures_render () =
+  let rendered =
+    Format.asprintf "%t" (fun ppf -> Resim_reports.Figures.print_all ppf)
+  in
+  check bool "substantial output" true (String.length rendered > 500)
+
+let test_runner_memoisation () =
+  Resim_reports.Runner.clear_cache ();
+  let workload = Resim_workloads.Workload.find "gzip" in
+  let config = Resim_core.Config.reference in
+  let a =
+    Resim_reports.Runner.run_kernel ~key:"test" ~config
+      ~scale:(Resim_reports.Runner.Exact 512) workload
+  in
+  let b =
+    Resim_reports.Runner.run_kernel ~key:"test" ~config
+      ~scale:(Resim_reports.Runner.Exact 512) workload
+  in
+  check bool "memoised (physically equal)" true (a == b);
+  Resim_reports.Runner.clear_cache ()
+
+let test_csv_export () =
+  (* Table 4 is model-only, so its CSV is cheap to regenerate here. *)
+  let path = Filename.temp_file "resim_table4" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Resim_reports.Csv_export.write_table4 path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      check int "header + 12 structures" 13 (List.length !lines);
+      let header = List.nth (List.rev !lines) 0 in
+      check bool "header columns" true
+        (header = "structure,slices,luts,brams,slice_pct,slice_pct_paper"))
+
+let suite =
+  [ ("reports",
+     [ Alcotest.test_case "paper constants" `Quick test_paper_constants;
+       Alcotest.test_case "paper averages" `Quick
+         test_paper_average_consistency;
+       Alcotest.test_case "table 4 shape" `Quick test_table4_report_shape;
+       Alcotest.test_case "figures render" `Quick test_figures_render;
+       Alcotest.test_case "runner memoisation" `Quick
+         test_runner_memoisation;
+       Alcotest.test_case "csv export" `Quick test_csv_export ]) ]

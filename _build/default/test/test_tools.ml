@@ -1,0 +1,270 @@
+(* Tests for the tooling layer: the VHDL generator and the pipeline
+   tracer. *)
+
+module Record = Resim_trace.Record
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let count_occurrences haystack needle =
+  let n = String.length needle in
+  let rec loop from acc =
+    if from + n > String.length haystack then acc
+    else if String.sub haystack from n = needle then loop (from + n) (acc + 1)
+    else loop (from + 1) acc
+  in
+  if n = 0 then 0 else loop 0 0
+
+(* --- VHDL generator ---------------------------------------------------- *)
+
+let balanced_vhdl text =
+  (* Every process / entity / architecture must be closed. *)
+  count_occurrences text "process (" = count_occurrences text "end process"
+  && count_occurrences text "entity " >= 2 (* decl + end *)
+  && count_occurrences text "architecture " = 2
+
+let test_vhdl_two_level () =
+  let text =
+    Resim_vhdlgen.Predictor_gen.direction_predictor
+      Resim_bpred.Direction.two_level_default
+  in
+  check bool "mentions the table sizes" true
+    (contains text "array (0 to 3) of unsigned(7 downto 0)"
+    && contains text "array (0 to 4095) of unsigned(1 downto 0)");
+  check bool "has a training process" true (contains text "process (clk)");
+  check bool "balanced" true (balanced_vhdl text)
+
+let test_vhdl_all_direction_configs () =
+  List.iter
+    (fun config ->
+      let text = Resim_vhdlgen.Predictor_gen.direction_predictor config in
+      check bool "entity present" true
+        (contains text "entity direction_predictor is");
+      check bool "architecture closed" true
+        (contains text "end architecture rtl;"))
+    [ Resim_bpred.Direction.Perfect;
+      Resim_bpred.Direction.Static_taken;
+      Resim_bpred.Direction.Static_not_taken;
+      Resim_bpred.Direction.Bimodal { table_entries = 256 };
+      Resim_bpred.Direction.two_level_default;
+      Resim_bpred.Direction.Gshare { history_bits = 10; pht_entries = 1024 }
+    ]
+
+let test_vhdl_btb_ways () =
+  let direct =
+    Resim_vhdlgen.Predictor_gen.btb { Resim_bpred.Btb.entries = 512;
+                                      associativity = 1 }
+  in
+  check bool "direct-mapped has one way" true
+    (contains direct "tags_0" && not (contains direct "tags_1"));
+  let assoc =
+    Resim_vhdlgen.Predictor_gen.btb { Resim_bpred.Btb.entries = 512;
+                                      associativity = 4 }
+  in
+  check bool "4-way has four ways" true
+    (contains assoc "tags_3" && not (contains assoc "tags_4"));
+  check bool "balanced" true (balanced_vhdl assoc)
+
+let test_vhdl_ras_depth () =
+  let text = Resim_vhdlgen.Predictor_gen.ras ~depth:16 in
+  check bool "depth in array bound" true (contains text "array (0 to 15)");
+  check bool "circular arithmetic" true (contains text "mod 16")
+
+let test_vhdl_params_package () =
+  let text =
+    Resim_vhdlgen.Core_gen.params_package Resim_core.Config.reference
+  in
+  List.iter
+    (fun fragment ->
+      check bool fragment true (contains text fragment))
+    [ ": integer := 4;"; "ROB_ENTRIES"; "MINOR_CYCLES";
+      ": integer := 7;"; "\"optimized\"" ]
+
+let test_vhdl_bundle_files () =
+  let dir = Filename.temp_file "resim_vhdl" "" in
+  Sys.remove dir;
+  let paths =
+    Resim_vhdlgen.Core_gen.write_all ~dir Resim_core.Config.reference
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove paths;
+      Sys.rmdir dir)
+    (fun () ->
+      check int "seven files" 7 (List.length paths);
+      List.iter
+        (fun path ->
+          check bool (path ^ " non-empty") true
+            ((Unix.stat path).Unix.st_size > 200))
+        paths)
+
+let test_vhdl_deterministic () =
+  let once () =
+    Resim_vhdlgen.Core_gen.generate_all Resim_core.Config.fast_comparable
+  in
+  check bool "generation is deterministic" true (once () = once ())
+
+let test_vhdl_queue () =
+  let text =
+    Resim_vhdlgen.Structures_gen.circular_queue ~name:"ifq" ~depth:4
+      ~payload_bits:48
+  in
+  check bool "array bound" true (contains text "array (0 to 3)");
+  check bool "payload width" true (contains text "(47 downto 0)");
+  check bool "flush port" true (contains text "flush");
+  check bool "wraparound" true (contains text "mod 4");
+  check bool "balanced" true (balanced_vhdl text)
+
+let test_vhdl_rename_table () =
+  let text =
+    Resim_vhdlgen.Structures_gen.rename_table ~registers:32 ~rob_entries:16
+  in
+  check bool "register array" true (contains text "array (0 to 31)");
+  check bool "rob tag width" true (contains text "(3 downto 0)");
+  check bool "two read ports" true
+    (contains text "src1_tag" && contains text "src2_tag");
+  check bool "squash flush" true (contains text "valid <= (others => '0');");
+  check bool "balanced" true (balanced_vhdl text)
+
+(* --- pipeline tracer ----------------------------------------------------- *)
+
+let alu ?(wrong = false) ~pc ~dest ~src1 () =
+  { Record.pc; wrong_path = wrong; dest; src1; src2 = 0;
+    payload = Record.Other { op_class = Record.Alu } }
+
+let chain n =
+  Array.init n (fun i ->
+      alu ~pc:i ~dest:(1 + (i mod 2)) ~src1:(1 + ((i + 1) mod 2)) ())
+
+let find_event kind timeline =
+  List.assoc_opt kind timeline.Resim_core.Pipeline_trace.events
+
+let trace_of records ~window =
+  let engine = Resim_core.Engine.create records in
+  let trace = Resim_core.Pipeline_trace.create ~window engine in
+  Resim_core.Pipeline_trace.run trace;
+  trace
+
+let test_ptrace_stage_order () =
+  let trace = trace_of (chain 8) ~window:8 in
+  let lines = Resim_core.Pipeline_trace.timelines trace in
+  check int "eight instructions traced" 8 (List.length lines);
+  List.iter
+    (fun timeline ->
+      let cycle kind =
+        match find_event kind timeline with
+        | Some cycle -> cycle
+        | None -> Alcotest.failf "missing stage for #%d"
+                    timeline.Resim_core.Pipeline_trace.id
+      in
+      let fetched = cycle Resim_core.Pipeline_trace.Fetched in
+      let dispatched = cycle Resim_core.Pipeline_trace.Dispatched in
+      let issued = cycle Resim_core.Pipeline_trace.Issued in
+      let completed = cycle Resim_core.Pipeline_trace.Completed in
+      let committed = cycle Resim_core.Pipeline_trace.Committed in
+      check bool "F < D" true (Int64.compare fetched dispatched < 0);
+      check bool "D <= i" true (Int64.compare dispatched issued <= 0);
+      check bool "i < W" true (Int64.compare issued completed < 0);
+      check bool "W < C" true (Int64.compare completed committed < 0))
+    lines
+
+let test_ptrace_serial_chain_issues_in_order () =
+  let trace = trace_of (chain 6) ~window:6 in
+  let lines = Resim_core.Pipeline_trace.timelines trace in
+  let issue_cycles =
+    List.filter_map (find_event Resim_core.Pipeline_trace.Issued) lines
+  in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) ->
+        Int64.compare a b < 0 && strictly_increasing rest
+    | [ _ ] | [] -> true
+  in
+  check bool "dependent chain issues one per cycle" true
+    (strictly_increasing issue_cycles)
+
+let test_ptrace_squash_recorded () =
+  let records =
+    Array.concat
+      [ [| alu ~pc:0 ~dest:1 ~src1:29 ();
+           { Record.pc = 1; wrong_path = false; dest = 0; src1 = 1; src2 = 2;
+             payload =
+               Record.Branch
+                 { kind = Resim_isa.Opcode.Cond; taken = true; target = 50 }
+           } |];
+        Array.init 3 (fun i -> alu ~wrong:true ~pc:(2 + i) ~dest:(3 + i) ~src1:29 ());
+        [| alu ~pc:50 ~dest:9 ~src1:29 () |] ]
+  in
+  let trace = trace_of records ~window:16 in
+  let lines = Resim_core.Pipeline_trace.timelines trace in
+  let squashed =
+    List.filter
+      (fun timeline ->
+        find_event Resim_core.Pipeline_trace.Squashed timeline <> None)
+      lines
+  in
+  check bool "wrong-path instructions squashed" true
+    (List.length squashed > 0);
+  List.iter
+    (fun timeline ->
+      check bool "only wrong-path squashes" true
+        timeline.Resim_core.Pipeline_trace.wrong_path)
+    squashed;
+  let committed_wrong =
+    List.exists
+      (fun timeline ->
+        timeline.Resim_core.Pipeline_trace.wrong_path
+        && find_event Resim_core.Pipeline_trace.Committed timeline <> None)
+      lines
+  in
+  check bool "no wrong-path commit in the trace" false committed_wrong
+
+let test_ptrace_render () =
+  let trace = trace_of (chain 4) ~window:4 in
+  let rendered = Resim_core.Pipeline_trace.render trace in
+  check bool "has legend" true (contains rendered "F fetch");
+  check bool "has rows" true (contains rendered "#0")
+
+let test_ptrace_window_limits () =
+  let trace = trace_of (chain 50) ~window:5 in
+  check int "window respected" 5
+    (List.length (Resim_core.Pipeline_trace.timelines trace))
+
+let test_ptrace_does_not_change_timing () =
+  let records = chain 64 in
+  let plain = Resim_core.Engine.simulate records in
+  let engine = Resim_core.Engine.create records in
+  let trace = Resim_core.Pipeline_trace.create ~window:16 engine in
+  Resim_core.Pipeline_trace.run trace;
+  check bool "identical timing with tracer attached" true
+    (Int64.equal
+       (Resim_core.Stats.get Resim_core.Stats.major_cycles plain)
+       (Resim_core.Stats.get Resim_core.Stats.major_cycles
+          (Resim_core.Engine.stats engine)))
+
+let suite =
+  [ ("tools:vhdl",
+     [ Alcotest.test_case "two-level tables" `Quick test_vhdl_two_level;
+       Alcotest.test_case "all direction configs" `Quick
+         test_vhdl_all_direction_configs;
+       Alcotest.test_case "btb ways" `Quick test_vhdl_btb_ways;
+       Alcotest.test_case "ras depth" `Quick test_vhdl_ras_depth;
+       Alcotest.test_case "params package" `Quick test_vhdl_params_package;
+       Alcotest.test_case "bundle files" `Quick test_vhdl_bundle_files;
+       Alcotest.test_case "deterministic" `Quick test_vhdl_deterministic;
+       Alcotest.test_case "circular queue" `Quick test_vhdl_queue;
+       Alcotest.test_case "rename table" `Quick test_vhdl_rename_table ]);
+    ("tools:ptrace",
+     [ Alcotest.test_case "stage order" `Quick test_ptrace_stage_order;
+       Alcotest.test_case "serial chain" `Quick
+         test_ptrace_serial_chain_issues_in_order;
+       Alcotest.test_case "squash events" `Quick test_ptrace_squash_recorded;
+       Alcotest.test_case "render" `Quick test_ptrace_render;
+       Alcotest.test_case "window" `Quick test_ptrace_window_limits;
+       Alcotest.test_case "timing unchanged" `Quick
+         test_ptrace_does_not_change_timing ]) ]

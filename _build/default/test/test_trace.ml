@@ -1,0 +1,335 @@
+(* Tests for the trace record model, bit-level I/O and the binary codec. *)
+
+open Resim_trace
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* --- bit I/O ----------------------------------------------------------- *)
+
+let test_bitio_roundtrip_basic () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.put w ~bits:3 5;
+  Bitio.Writer.put_bool w true;
+  Bitio.Writer.put w ~bits:16 0xbeef;
+  Bitio.Writer.put w ~bits:32 0x12345678;
+  check int "bit length" (3 + 1 + 16 + 32) (Bitio.Writer.bit_length w);
+  let r = Bitio.Reader.create (Bitio.Writer.contents w) in
+  check int "3 bits" 5 (Bitio.Reader.get r ~bits:3);
+  check bool "bool" true (Bitio.Reader.get_bool r);
+  check int "16 bits" 0xbeef (Bitio.Reader.get r ~bits:16);
+  check int "32 bits" 0x12345678 (Bitio.Reader.get r ~bits:32)
+
+let test_bitio_out_of_bits () =
+  let r = Bitio.Reader.create "" in
+  Alcotest.check_raises "empty" Bitio.Reader.Out_of_bits (fun () ->
+      ignore (Bitio.Reader.get r ~bits:1))
+
+let test_bitio_invalid_width () =
+  let w = Bitio.Writer.create () in
+  Alcotest.check_raises "too wide"
+    (Invalid_argument "Bitio.Writer.put: bits") (fun () ->
+      Bitio.Writer.put w ~bits:63 1)
+
+let bitio_roundtrip_property =
+  let field = QCheck.(pair (QCheck.int_range 1 62) (int_bound max_int)) in
+  QCheck.Test.make ~name:"bitio: arbitrary field sequences round-trip"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 64) field)
+    (fun fields ->
+      let w = Bitio.Writer.create () in
+      List.iter
+        (fun (bits, value) -> Bitio.Writer.put w ~bits value)
+        fields;
+      let r = Bitio.Reader.create (Bitio.Writer.contents w) in
+      List.for_all
+        (fun (bits, value) ->
+          let masked = value land ((1 lsl bits) - 1) in
+          Bitio.Reader.get r ~bits = masked)
+        fields)
+
+(* --- records ------------------------------------------------------------ *)
+
+let sample_records =
+  [| { Record.pc = 0; wrong_path = false; dest = 1; src1 = 2; src2 = 3;
+       payload = Record.Other { op_class = Record.Alu } };
+     { Record.pc = 1; wrong_path = false; dest = 4; src1 = 1; src2 = 0;
+       payload = Record.Memory { is_load = true; address = 0x1234 } };
+     { Record.pc = 2; wrong_path = false; dest = 0; src1 = 4; src2 = 5;
+       payload = Record.Memory { is_load = false; address = 0x1238 } };
+     { Record.pc = 3; wrong_path = false; dest = 0; src1 = 1; src2 = 4;
+       payload =
+         Record.Branch
+           { kind = Resim_isa.Opcode.Cond; taken = true; target = 0 } };
+     { Record.pc = 0; wrong_path = true; dest = 6; src1 = 1; src2 = 1;
+       payload = Record.Other { op_class = Record.Mult } };
+     { Record.pc = 1; wrong_path = true; dest = 7; src1 = 6; src2 = 2;
+       payload = Record.Other { op_class = Record.Divide } } |]
+
+let test_record_predicates () =
+  check bool "branch" true (Record.is_branch sample_records.(3));
+  check bool "load" true (Record.is_load sample_records.(1));
+  check bool "store" true (Record.is_store sample_records.(2));
+  check bool "memory" true (Record.is_memory sample_records.(2));
+  check bool "alu not memory" false (Record.is_memory sample_records.(0))
+
+let test_record_of_observation () =
+  let program =
+    Resim_isa.Asm.(
+      assemble
+        [ li t0 0x100; lw t1 4 t0; sw t1 8 t0; mul t2 t1 t1;
+          beq t2 t2 "end"; label "end"; halt ])
+  in
+  let m = Resim_isa.Machine.create ~program () in
+  let obs () =
+    match Resim_isa.Interpreter.step m program with
+    | Resim_isa.Interpreter.Stepped obs -> obs
+    | Resim_isa.Interpreter.Halted_ -> Alcotest.fail "unexpected halt"
+  in
+  let li = Record.of_observation ~wrong_path:false (obs ()) in
+  check bool "li is Other/Alu" true
+    (li.payload = Record.Other { op_class = Record.Alu });
+  let lw = Record.of_observation ~wrong_path:false (obs ()) in
+  check bool "lw is load" true (Record.is_load lw);
+  (match lw.payload with
+  | Record.Memory { address; _ } -> check int "lw address" 0x104 address
+  | Record.Branch _ | Record.Other _ -> Alcotest.fail "expected memory");
+  let sw = Record.of_observation ~wrong_path:true (obs ()) in
+  check bool "sw is store" true (Record.is_store sw);
+  check bool "tag bit" true sw.wrong_path;
+  let mul = Record.of_observation ~wrong_path:false (obs ()) in
+  check bool "mul class" true
+    (mul.payload = Record.Other { op_class = Record.Mult });
+  let beq = Record.of_observation ~wrong_path:false (obs ()) in
+  match beq.payload with
+  | Record.Branch { kind; taken; target } ->
+      check bool "cond kind" true (kind = Resim_isa.Opcode.Cond);
+      check bool "taken" true taken;
+      check int "target" 5 target
+  | Record.Memory _ | Record.Other _ -> Alcotest.fail "expected branch"
+
+(* --- codec --------------------------------------------------------------- *)
+
+let test_codec_roundtrip_fixed () =
+  let encoded = Codec.encode ~format:Codec.Fixed sample_records in
+  let decoded, format = Codec.decode encoded in
+  check bool "format" true (format = Codec.Fixed);
+  check int "count" (Array.length sample_records) (Array.length decoded);
+  Array.iteri
+    (fun i record ->
+      check bool (Printf.sprintf "record %d" i) true
+        (Record.equal record decoded.(i)))
+    sample_records
+
+let test_codec_roundtrip_compact () =
+  let encoded = Codec.encode ~format:Codec.Compact sample_records in
+  let decoded, format = Codec.decode encoded in
+  check bool "format" true (format = Codec.Compact);
+  check bool "all equal" true
+    (Array.for_all2 Record.equal sample_records decoded)
+
+let test_codec_empty () =
+  let encoded = Codec.encode [||] in
+  let decoded, _format = Codec.decode encoded in
+  check int "empty" 0 (Array.length decoded);
+  check bool "zero bits per instr" true
+    (Codec.bits_per_instruction [||] = 0.0)
+
+let test_codec_corrupt () =
+  Alcotest.check_raises "bad magic" (Codec.Corrupt "bad magic") (fun () ->
+      ignore (Codec.decode "XXXXxxxxxxxxxxxxxx"));
+  Alcotest.check_raises "truncated header"
+    (Codec.Corrupt "truncated header") (fun () ->
+      ignore (Codec.decode "RS"))
+
+let test_codec_truncated_payload () =
+  let encoded = Codec.encode sample_records in
+  let truncated = String.sub encoded 0 (String.length encoded - 2) in
+  Alcotest.check_raises "truncated payload"
+    (Codec.Corrupt "truncated payload") (fun () ->
+      ignore (Codec.decode truncated))
+
+let test_codec_file_roundtrip () =
+  let path = Filename.temp_file "resim_test" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Codec.write_file ~format:Codec.Compact path sample_records;
+      let decoded, format = Codec.read_file path in
+      check bool "file format" true (format = Codec.Compact);
+      check bool "file roundtrip" true
+        (Array.for_all2 Record.equal sample_records decoded))
+
+let test_compact_smaller_on_locality () =
+  (* Sequential memory accesses compress well under delta encoding. *)
+  let records =
+    Array.init 500 (fun i ->
+        { Record.pc = i; wrong_path = false; dest = 1; src1 = 2; src2 = 0;
+          payload = Record.Memory { is_load = true; address = 4096 + (4 * i) }
+        })
+  in
+  let fixed = Codec.bits_per_instruction ~format:Codec.Fixed records in
+  let compact = Codec.bits_per_instruction ~format:Codec.Compact records in
+  check bool "compact is smaller" true (compact < fixed)
+
+(* Generator for random records with mostly-sequential pcs. *)
+let record_gen =
+  let open QCheck.Gen in
+  let payload_gen pc =
+    frequency
+      [ (5, map (fun c ->
+                let op_class =
+                  match c mod 3 with
+                  | 0 -> Record.Alu
+                  | 1 -> Record.Mult
+                  | _ -> Record.Divide
+                in
+                Record.Other { op_class })
+             small_nat);
+        (3, map2 (fun is_load address ->
+                 Record.Memory { is_load; address })
+              bool (int_bound 0xffff_ffff));
+        (2, map2 (fun taken target ->
+                 Record.Branch { kind = Resim_isa.Opcode.Cond; taken;
+                                 target = target mod 1_000_000 })
+              bool (int_bound ((1 lsl 29) - 1))) ]
+    |> fun g -> g >>= fun payload -> return (pc, payload)
+  in
+  let rec build n pc acc =
+    if n = 0 then return (List.rev acc)
+    else
+      payload_gen pc >>= fun (pc, payload) ->
+      map2 (fun regs jump ->
+          let dest = regs land 31 in
+          let src1 = (regs lsr 5) land 31 in
+          let src2 = (regs lsr 10) land 31 in
+          ({ Record.pc; wrong_path = regs land 32768 <> 0; dest; src1; src2;
+             payload },
+           jump))
+        (int_bound 65535) (int_bound 99)
+      >>= fun (record, jump) ->
+      let next_pc = if jump < 80 then pc + 1 else (pc + jump) mod 1_000_000 in
+      build (n - 1) next_pc (record :: acc)
+  in
+  int_range 1 200 >>= fun n ->
+  map Array.of_list (build n 0 [])
+
+let codec_roundtrip_property format name =
+  QCheck.Test.make ~name ~count:60
+    (QCheck.make record_gen)
+    (fun records ->
+      let decoded, decoded_format = Codec.decode (Codec.encode ~format records) in
+      decoded_format = format
+      && Array.length decoded = Array.length records
+      && Array.for_all2 Record.equal records decoded)
+
+(* --- profile ---------------------------------------------------------- *)
+
+let profile_records =
+  Array.concat
+    [ Array.init 20 (fun i ->
+          { Record.pc = 100; wrong_path = false; dest = 0; src1 = 1; src2 = 2;
+            payload =
+              Record.Branch
+                { kind = Resim_isa.Opcode.Cond; taken = i mod 4 <> 0;
+                  target = 5 } });
+      Array.init 5 (fun _ ->
+          { Record.pc = 200; wrong_path = false; dest = 0; src1 = 1; src2 = 2;
+            payload =
+              Record.Branch
+                { kind = Resim_isa.Opcode.Cond; taken = true; target = 9 } });
+      Array.init 8 (fun i ->
+          { Record.pc = 300 + i; wrong_path = false; dest = 1; src1 = 2;
+            src2 = 0;
+            payload = Record.Memory { is_load = true; address = 0x5000 } });
+      [| { Record.pc = 400; wrong_path = true; dest = 0; src1 = 1; src2 = 2;
+           payload =
+             Record.Branch
+               { kind = Resim_isa.Opcode.Cond; taken = true; target = 0 } } |];
+      Array.init 7 (fun i ->
+          { Record.pc = 500 + i; wrong_path = false; dest = 3; src1 = 4;
+            src2 = 5; payload = Record.Other { op_class = Record.Alu } }) ]
+
+let test_profile_hot_branches () =
+  let sites = Profile.hot_branches ~top:2 profile_records in
+  match sites with
+  | [ first; second ] ->
+      check int "hottest site" 100 first.Profile.pc;
+      check int "executions" 20 first.executions;
+      check bool "taken rate" true
+        (abs_float (first.taken_rate -. 0.75) < 1e-9);
+      check int "second site" 200 second.Profile.pc;
+      check int "wrong path excluded" 5 second.executions
+  | _ -> Alcotest.fail "expected two sites"
+
+let test_profile_pages_and_mix () =
+  let pages = Profile.hot_pages ~top:3 profile_records in
+  check bool "one hot page" true
+    (match pages with [ (0x5000, 8) ] -> true | _ -> false);
+  let mix = Profile.instruction_mix profile_records in
+  let total =
+    mix.Profile.alu +. mix.mult +. mix.divide +. mix.load +. mix.store
+    +. mix.branch
+  in
+  check bool "fractions sum to 1" true (abs_float (total -. 1.0) < 1e-9);
+  check bool "load fraction" true
+    (abs_float (mix.Profile.load -. (8.0 /. 40.0)) < 1e-9);
+  check int "footprint one page" 4096
+    (Profile.memory_footprint_bytes profile_records)
+
+let test_profile_page_validation () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Profile: page_bytes must be a power of two")
+    (fun () -> ignore (Profile.hot_pages ~page_bytes:3000 profile_records))
+
+(* --- summary ---------------------------------------------------------- *)
+
+let test_summary_counts () =
+  let summary = Summary.of_records sample_records in
+  check int "total" 6 summary.total;
+  check int "wrong path" 2 summary.wrong_path;
+  check int "correct" 4 summary.correct_path;
+  check int "branches" 1 summary.branches;
+  check int "cond" 1 summary.cond_branches;
+  check int "taken" 1 summary.taken_branches;
+  check int "loads" 1 summary.loads;
+  check int "stores" 1 summary.stores;
+  check int "mults" 1 summary.mults;
+  check int "divides" 1 summary.divides;
+  check bool "fraction" true
+    (abs_float (Summary.wrong_path_fraction summary -. (2.0 /. 6.0)) < 1e-9)
+
+let suite =
+  [ ("trace:bitio",
+     [ Alcotest.test_case "roundtrip" `Quick test_bitio_roundtrip_basic;
+       Alcotest.test_case "out of bits" `Quick test_bitio_out_of_bits;
+       Alcotest.test_case "invalid width" `Quick test_bitio_invalid_width;
+       QCheck_alcotest.to_alcotest bitio_roundtrip_property ]);
+    ("trace:record",
+     [ Alcotest.test_case "predicates" `Quick test_record_predicates;
+       Alcotest.test_case "of_observation" `Quick test_record_of_observation
+     ]);
+    ("trace:codec",
+     [ Alcotest.test_case "fixed roundtrip" `Quick test_codec_roundtrip_fixed;
+       Alcotest.test_case "compact roundtrip" `Quick
+         test_codec_roundtrip_compact;
+       Alcotest.test_case "empty" `Quick test_codec_empty;
+       Alcotest.test_case "corrupt input" `Quick test_codec_corrupt;
+       Alcotest.test_case "truncated payload" `Quick
+         test_codec_truncated_payload;
+       Alcotest.test_case "file roundtrip" `Quick test_codec_file_roundtrip;
+       Alcotest.test_case "compact beats fixed on locality" `Quick
+         test_compact_smaller_on_locality;
+       QCheck_alcotest.to_alcotest
+         (codec_roundtrip_property Codec.Fixed
+            "codec: fixed encoding round-trips random traces");
+       QCheck_alcotest.to_alcotest
+         (codec_roundtrip_property Codec.Compact
+            "codec: compact encoding round-trips random traces") ]);
+    ("trace:profile",
+     [ Alcotest.test_case "hot branches" `Quick test_profile_hot_branches;
+       Alcotest.test_case "pages and mix" `Quick test_profile_pages_and_mix;
+       Alcotest.test_case "validation" `Quick test_profile_page_validation ]);
+    ("trace:summary",
+     [ Alcotest.test_case "counts" `Quick test_summary_counts ]) ]
