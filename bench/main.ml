@@ -124,6 +124,55 @@ let bechamel_section () =
      sweep (trace reused);@.the fused row repeats functional work every \
      run, as execution-driven simulators must.@."
 
+(* ------------------------------------------------------------------ *)
+(* Serial vs domain-parallel sweep throughput.                         *)
+
+let sweep_section () =
+  section "Sweep throughput: serial vs domain-parallel (this machine)";
+  let grid =
+    List.map Resim_reports.Runner.job_of_request
+      (Resim_reports.Ablations.requests ())
+  in
+  Format.printf
+    "full ablation grid: %d jobs; host recommends %d domain(s)@.@."
+    (List.length grid)
+    (Resim_sweep.Pool.recommended_jobs ());
+  let time f =
+    let started = Unix.gettimeofday () in
+    let result = f () in
+    (result, Unix.gettimeofday () -. started)
+  in
+  let serial, serial_wall =
+    time (fun () -> Resim_sweep.Sweep.run ~jobs:1 grid)
+  in
+  let parallel, parallel_wall =
+    time (fun () -> Resim_sweep.Sweep.run ~jobs:4 grid)
+  in
+  let cycles (r : Resim_sweep.Sweep.result) =
+    Resim_core.Stats.get Resim_core.Stats.major_cycles r.outcome.stats
+  in
+  let committed (r : Resim_sweep.Sweep.result) =
+    Resim_core.Stats.get Resim_core.Stats.committed r.outcome.stats
+  in
+  let identical =
+    List.for_all2
+      (fun (a : Resim_sweep.Sweep.result) (b : Resim_sweep.Sweep.result) ->
+        Int64.equal (cycles a) (cycles b)
+        && Int64.equal (committed a) (committed b)
+        && Array.length a.generated.records
+           = Array.length b.generated.records)
+      serial parallel
+  in
+  Format.printf "%-16s %10.2f s@." "serial (-j 1)" serial_wall;
+  Format.printf
+    "%-16s %10.2f s   speedup %.2fx   results identical: %b@."
+    "parallel (-j 4)" parallel_wall
+    (if parallel_wall > 0.0 then serial_wall /. parallel_wall else 1.0)
+    identical;
+  Format.printf
+    "@.(speedup tracks physical cores; oversubscribing a smaller host \
+     costs domain-scheduling and GC overhead, but results stay identical)@."
+
 let () =
   Format.printf "ReSim reproduction benchmark harness (v%s)@."
     Resim_core.Resim.version;
@@ -132,4 +181,5 @@ let () =
   Format.printf "@.machine-readable tables: %s@."
     (String.concat ", " csvs);
   bechamel_section ();
+  sweep_section ();
   Format.printf "@.done.@."

@@ -6,6 +6,7 @@
      area       evaluate the FPGA area model
      schedule   render a minor-cycle schedule (Figures 2-4)
      table      regenerate one of the paper's tables
+     sweep      run the ablation grid as a domain-parallel sweep
      workloads  list the built-in kernels *)
 
 open Cmdliner
@@ -310,6 +311,72 @@ let disasm_cmd =
        ~doc:"Disassemble a kernel or assembly file to parser syntax")
     Term.(const disasm $ kernel_arg $ scale_arg $ program_arg)
 
+(* --- sweep ----------------------------------------------------------- *)
+
+let dedupe_jobs jobs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (job : Resim_sweep.Sweep.job) ->
+      let key =
+        (Resim_workloads.Workload.name_of job.workload, job.config,
+         job.scale)
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    jobs
+
+let sweep jobs quick =
+  let jobs = max 1 jobs in
+  let grid =
+    List.map Resim_reports.Runner.job_of_request
+      (Resim_reports.Ablations.requests ())
+  in
+  let grid =
+    if quick then
+      dedupe_jobs
+        (List.map
+           (fun job ->
+             { job with Resim_sweep.Sweep.scale = Resim_sweep.Sweep.Default })
+           grid)
+    else grid
+  in
+  Format.printf
+    "sweeping %d job(s) across %d worker domain(s) (host recommends %d)@."
+    (List.length grid) jobs
+    (Resim_sweep.Pool.recommended_jobs ());
+  let started = Unix.gettimeofday () in
+  let results = Resim_sweep.Sweep.run ~jobs grid in
+  let wall = Unix.gettimeofday () -. started in
+  Format.printf "%a@." Resim_sweep.Sweep.pp_table results;
+  Format.printf "wall clock %.2f s at -j %d (%.2fx vs serial-equivalent)@."
+    wall jobs
+    (if wall > 0.0 then Resim_sweep.Sweep.total_wall results /. wall
+     else 1.0)
+
+let sweep_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt int (Resim_sweep.Pool.recommended_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains to shard the sweep across (1 = serial; \
+                results are identical at any value).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Rescale every job to its kernel's default (small) input \
+                for a fast smoke run.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run the full ablation grid as a domain-parallel sweep")
+    Term.(const sweep $ jobs $ quick)
+
 (* --- workloads ------------------------------------------------------- *)
 
 let workloads () =
@@ -335,4 +402,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tracegen_cmd; simulate_cmd; area_cmd; schedule_cmd; table_cmd;
-            disasm_cmd; vhdl_cmd; ptrace_cmd; workloads_cmd ]))
+            sweep_cmd; disasm_cmd; vhdl_cmd; ptrace_cmd; workloads_cmd ]))

@@ -25,7 +25,9 @@ let () =
       core_workloads
   in
   let system = System.create specs in
-  System.run system;
+  (match System.run system with
+  | `Finished -> ()
+  | `Truncated -> Format.printf "warning: cycle budget exhausted@.");
   Format.printf "%a@." System.pp system;
   Format.printf "aggregate committed: %Ld over %Ld lockstep cycles@.@."
     (System.aggregate_committed system)

@@ -58,12 +58,14 @@ let step t =
 let run ?(max_cycles = 1_000_000_000L) t =
   while (not (finished t)) && Int64.compare t.clock max_cycles < 0 do
     step t
-  done
+  done;
+  if finished t then `Finished else `Truncated
 
 type core_result = {
   core : string;
   stats : Resim_core.Stats.t;
   finished_at : int64;
+  drained : bool;
 }
 
 let results t =
@@ -71,7 +73,8 @@ let results t =
     (fun core ->
       { core = core.spec.name;
         stats = Resim_core.Engine.stats core.engine;
-        finished_at = Option.value core.finished_at ~default:t.clock })
+        finished_at = Option.value core.finished_at ~default:t.clock;
+        drained = core.finished_at <> None })
     t.cores
 
 let elapsed_cycles t = t.clock
@@ -118,10 +121,17 @@ let pp ppf t =
     t.clock;
   List.iter
     (fun result ->
-      Format.fprintf ppf "%-10s committed %Ld, IPC %.3f, drained at %Ld@,"
-        result.core
-        (Resim_core.Stats.get Resim_core.Stats.committed result.stats)
-        (Resim_core.Stats.ipc result.stats)
-        result.finished_at)
+      if result.drained then
+        Format.fprintf ppf "%-10s committed %Ld, IPC %.3f, drained at %Ld@,"
+          result.core
+          (Resim_core.Stats.get Resim_core.Stats.committed result.stats)
+          (Resim_core.Stats.ipc result.stats)
+          result.finished_at
+      else
+        Format.fprintf ppf
+          "%-10s committed %Ld, IPC %.3f, TRUNCATED at %Ld@," result.core
+          (Resim_core.Stats.get Resim_core.Stats.committed result.stats)
+          (Resim_core.Stats.ipc result.stats)
+          result.finished_at)
     (results t);
   Format.fprintf ppf "@]"

@@ -28,12 +28,20 @@ val step : t -> unit
 (** One major cycle on every unfinished core. *)
 
 val finished : t -> bool
-val run : ?max_cycles:int64 -> t -> unit
+
+val run : ?max_cycles:int64 -> t -> [ `Finished | `Truncated ]
+(** Step until every core drains, or until [max_cycles] lockstep cycles
+    have elapsed. [`Truncated] means at least one core still had work
+    when the budget ran out — its statistics cover only the simulated
+    prefix, and {!results} marks it as not drained. *)
 
 type core_result = {
   core : string;
   stats : Resim_core.Stats.t;
-  finished_at : int64;  (** lockstep cycle the core drained at *)
+  finished_at : int64;
+      (** lockstep cycle the core drained at; the current clock when the
+          run was truncated before the core drained *)
+  drained : bool;  (** false when the run stopped with work outstanding *)
 }
 
 val results : t -> core_result list

@@ -58,8 +58,11 @@ let print_width_sweep ppf =
   List.iter
     (fun width ->
       let config = width_config width in
-      let records = gzip_trace ~config in
-      let outcome = Resim_core.Resim.simulate_trace ~config records in
+      let run =
+        Runner.run_kernel ~key:"ablation" ~config
+          ~scale:(Runner.Exact 8192) (gzip ())
+      in
+      let outcome = run.Runner.outcome in
       let area = Resim_fpga.Area.estimate (area_params config) in
       Format.fprintf ppf "%5d %4d %8.3f %10.2f %10d@," width
         (Config.minor_cycle_latency config)
@@ -255,7 +258,35 @@ let print_in_order ppf =
     Resim_workloads.Workload.all;
   Format.fprintf ppf "@]"
 
-let print_all ppf =
+(* The full ablation grid: every memoised simulation the ablations and
+   Tables 1/3 trigger, as explicit requests. Prewarming this list as one
+   domain-parallel sweep makes every subsequent run_kernel call a cache
+   hit, so the serial printing below is just formatting. *)
+let requests () =
+  let table key config =
+    List.map
+      (fun workload -> Runner.request ~key ~config workload)
+      Resim_workloads.Workload.all
+  in
+  table "table1-left" Config.reference
+  @ table "table1-right" Config.fast_comparable
+  @ [ Runner.request ~key:"ablation" ~config:Config.reference
+        ~scale:(Runner.Exact 8192) (gzip ()) ]
+  @ List.map
+      (fun width ->
+        Runner.request ~key:"ablation" ~config:(width_config width)
+          ~scale:(Runner.Exact 8192) (gzip ()))
+      [ 1; 2; 4; 8 ]
+  @ List.map
+      (fun workload ->
+        Runner.request ~key:"ablation-small" ~config:Config.reference
+          ~scale:Runner.Default workload)
+      Resim_workloads.Workload.all
+
+let prewarm ?jobs () = Runner.prewarm ?jobs (requests ())
+
+let print_all ?jobs ppf =
+  prewarm ?jobs ();
   print_organizations ppf;
   Format.fprintf ppf "@.@.";
   print_width_sweep ppf;

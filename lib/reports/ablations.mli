@@ -43,4 +43,19 @@ val print_cosim : Format.formatter -> unit
 val print_in_order : Format.formatter -> unit
 (** Out-of-order vs the in-order 5-stage baseline on the same traces. *)
 
-val print_all : Format.formatter -> unit
+val requests : unit -> Runner.request list
+(** The full ablation grid: every memoisable (kernel, configuration,
+    scale) simulation the ablations and Tables 1/3 run — the Table 1
+    left/right columns over all five kernels, the gzip ablation
+    configurations (reference and the width-sweep variants) and the
+    default-scale runs of the in-order comparison. Ordered and
+    duplicate-free, so it can be handed to {!Runner.prewarm} or run
+    directly as a {!Resim_sweep.Sweep}. *)
+
+val prewarm : ?jobs:int -> unit -> unit
+(** [Runner.prewarm ?jobs (requests ())]. *)
+
+val print_all : ?jobs:int -> Format.formatter -> unit
+(** Prewarms the grid across [jobs] worker domains (default: the host's
+    recommended domain count), then prints every ablation; the printed
+    output is identical at any [jobs] value. *)

@@ -7,39 +7,122 @@ type run = {
 
 type scale_spec = Evaluation | Default | Exact of int
 
-let cache : (string * string * int, run) Hashtbl.t = Hashtbl.create 32
+(* The memo key is the full structural identity of a simulation: the
+   kernel, the resolved scale and the complete engine configuration
+   (which also determines the trace generator). Config.t is plain data,
+   so polymorphic equality/hashing are exact. The table is shared
+   between domains and every access is mutex-guarded; misses are
+   computed outside the lock (a racing duplicate computation is
+   harmless — the first store wins and both callers get it). *)
+type cache_key = {
+  ck_kernel : string;
+  ck_scale : int;
+  ck_config : Resim_core.Config.t;
+}
+
+let mutex = Mutex.create ()
+let cache : (cache_key, run) Hashtbl.t = Hashtbl.create 32
+
+let find key =
+  Mutex.lock mutex;
+  let found = Hashtbl.find_opt cache key in
+  Mutex.unlock mutex;
+  found
+
+(* Returns the winning entry so racing callers share one [run]. *)
+let store key run =
+  Mutex.lock mutex;
+  let stored =
+    match Hashtbl.find_opt cache key with
+    | Some existing -> existing
+    | None ->
+        Hashtbl.add cache key run;
+        run
+  in
+  Mutex.unlock mutex;
+  stored
+
+let clear_cache () =
+  Mutex.lock mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock mutex
+
+let scale_tag workload scale =
+  let module K = (val workload : Resim_workloads.Kernel_sig.S) in
+  match scale with
+  | Evaluation -> K.evaluation_scale
+  | Default -> -1
+  | Exact scale -> scale
+
+let cache_key workload config scale =
+  let module K = (val workload : Resim_workloads.Kernel_sig.S) in
+  { ck_kernel = K.name; ck_scale = scale_tag workload scale;
+    ck_config = config }
+
+type request = {
+  key : string;
+  workload : Resim_workloads.Workload.t;
+  config : Resim_core.Config.t;
+  scale : scale_spec;
+}
+
+let request ~key ~config ?(scale = Evaluation) workload =
+  { key; workload; config; scale }
+
+let sweep_scale = function
+  | Evaluation -> Resim_sweep.Sweep.Evaluation
+  | Default -> Resim_sweep.Sweep.Default
+  | Exact scale -> Resim_sweep.Sweep.Exact scale
+
+let job_of_request request =
+  let module K = (val request.workload : Resim_workloads.Kernel_sig.S) in
+  Resim_sweep.Sweep.job
+    ~label:(request.key ^ ":" ^ K.name)
+    ~scale:(sweep_scale request.scale) ~config:request.config
+    request.workload
+
+let run_of_result (result : Resim_sweep.Sweep.result) =
+  { kernel = Resim_workloads.Workload.name_of result.job.workload;
+    config = result.job.config;
+    generated = result.generated;
+    outcome = result.outcome }
 
 let run_kernel ~key ~config ?(scale = Evaluation) workload =
-  let module K = (val workload : Resim_workloads.Kernel_sig.S) in
-  let scale_tag =
-    match scale with
-    | Evaluation -> K.evaluation_scale
-    | Default -> -1
-    | Exact scale -> scale
-  in
-  let cache_key = (key, K.name, scale_tag) in
-  match Hashtbl.find_opt cache cache_key with
+  let cache_key = cache_key workload config scale in
+  match find cache_key with
   | Some run -> run
   | None ->
-      let program =
-        match scale with
-        | Evaluation -> K.program ~scale:K.evaluation_scale ()
-        | Default -> K.program ()
-        | Exact scale -> K.program ~scale ()
+      let result =
+        Resim_sweep.Sweep.run_job
+          (job_of_request (request ~key ~config ~scale workload))
       in
-      let generator =
-        { Resim_tracegen.Generator.predictor =
-            config.Resim_core.Config.predictor;
-          wrong_path_limit = config.rob_entries + config.ifq_entries;
-          max_instructions = 20_000_000 }
-      in
-      let generated = Resim_tracegen.Generator.run ~config:generator program in
-      let outcome = Resim_core.Resim.simulate_trace ~config generated.records in
-      let run = { kernel = K.name; config; generated; outcome } in
-      Hashtbl.replace cache cache_key run;
-      run
+      store cache_key (run_of_result result)
 
-let clear_cache () = Hashtbl.reset cache
+let prewarm ?jobs requests =
+  let seen = Hashtbl.create 16 in
+  let missing =
+    List.filter
+      (fun request ->
+        let cache_key =
+          cache_key request.workload request.config request.scale
+        in
+        if Hashtbl.mem seen cache_key || find cache_key <> None then false
+        else begin
+          Hashtbl.add seen cache_key ();
+          true
+        end)
+      requests
+  in
+  let results =
+    Resim_sweep.Sweep.run ?jobs (List.map job_of_request missing)
+  in
+  List.iter2
+    (fun request result ->
+      ignore
+        (store
+           (cache_key request.workload request.config request.scale)
+           (run_of_result result)))
+    missing results
 
 let mips run ~device = Resim_core.Resim.mips run.outcome ~device
 

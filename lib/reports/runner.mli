@@ -1,8 +1,13 @@
 (** Shared experiment runner with memoisation.
 
     Tables 1 and 3 and several ablations reuse the same
-    (kernel, configuration) simulations; traces and outcomes are cached
-    per [key] so each experiment runs once per bench invocation. *)
+    (kernel, configuration, scale) simulations; traces and outcomes are
+    memoised so each experiment runs once per bench invocation. The
+    cache is keyed structurally on the full {!Resim_core.Config.t} (a
+    configuration change can never alias a stale entry) and is
+    mutex-guarded, so {!run_kernel} may be called from several domains
+    at once — in particular by a {!Resim_sweep.Sweep} run seeded
+    through {!prewarm}. *)
 
 type run = {
   kernel : string;
@@ -23,11 +28,38 @@ val run_kernel :
   ?scale:scale_spec ->
   Resim_workloads.Workload.t ->
   run
-(** [key] identifies the configuration for memoisation (e.g. ["left"]);
-    it must change whenever [config] does. [scale] defaults to
-    [Evaluation]. *)
+(** [key] is a display label naming the experiment (e.g. ["table1-left"]);
+    memoisation identity comes from the configuration itself. [scale]
+    defaults to [Evaluation]. *)
 
 val clear_cache : unit -> unit
+
+(** {1 Batch (domain-parallel) execution} *)
+
+(** One memoisable simulation: what {!run_kernel} would run. *)
+type request = {
+  key : string;
+  workload : Resim_workloads.Workload.t;
+  config : Resim_core.Config.t;
+  scale : scale_spec;
+}
+
+val request :
+  key:string ->
+  config:Resim_core.Config.t ->
+  ?scale:scale_spec ->
+  Resim_workloads.Workload.t ->
+  request
+
+val job_of_request : request -> Resim_sweep.Sweep.job
+(** The sweep job computing exactly what {!run_kernel} computes for the
+    request, labelled ["key:kernel"]. *)
+
+val prewarm : ?jobs:int -> request list -> unit
+(** Run every not-yet-cached request as one domain-parallel sweep
+    ([jobs] defaults to the host's recommended domain count) and seed
+    the memo cache, so subsequent {!run_kernel} calls hit. Duplicate
+    and already-cached requests are skipped. *)
 
 val mips : run -> device:Resim_fpga.Device.t -> float
 val mips_wrong_path : run -> device:Resim_fpga.Device.t -> float

@@ -1,0 +1,121 @@
+type 'a state =
+  | Pending
+  | Value of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a task = {
+  mutable state : 'a state;
+  task_mutex : Mutex.t;
+  task_done : Condition.t;
+}
+
+type t = {
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  pending : Condition.t;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+  jobs : int;
+}
+
+let jobs t = t.jobs
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.pending pool.mutex
+    done;
+    match Queue.take_opt pool.queue with
+    | None ->
+        (* Stopping and drained. *)
+        Mutex.unlock pool.mutex
+    | Some thunk ->
+        Mutex.unlock pool.mutex;
+        thunk ();
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    { queue = Queue.create ();
+      mutex = Mutex.create ();
+      pending = Condition.create ();
+      stopping = false;
+      stopped = false;
+      workers = [||];
+      jobs }
+  in
+  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let submit pool f =
+  let task =
+    { state = Pending;
+      task_mutex = Mutex.create ();
+      task_done = Condition.create () }
+  in
+  let thunk () =
+    let outcome =
+      match f () with
+      | value -> Value value
+      | exception exn -> Failed (exn, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock task.task_mutex;
+    task.state <- outcome;
+    Condition.broadcast task.task_done;
+    Mutex.unlock task.task_mutex
+  in
+  Mutex.lock pool.mutex;
+  if pool.stopping then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push thunk pool.queue;
+  Condition.signal pool.pending;
+  Mutex.unlock pool.mutex;
+  task
+
+let await task =
+  Mutex.lock task.task_mutex;
+  let rec wait () =
+    match task.state with
+    | Pending ->
+        Condition.wait task.task_done task.task_mutex;
+        wait ()
+    | Value value ->
+        Mutex.unlock task.task_mutex;
+        value
+    | Failed (exn, backtrace) ->
+        Mutex.unlock task.task_mutex;
+        Printexc.raise_with_backtrace exn backtrace
+  in
+  wait ()
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.stopped then Mutex.unlock pool.mutex
+  else begin
+    pool.stopping <- true;
+    pool.stopped <- true;
+    Condition.broadcast pool.pending;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map ~jobs f input =
+  let n = Array.length input in
+  if jobs <= 1 || n <= 1 then Array.map f input
+  else
+    with_pool ~jobs:(min jobs n) (fun pool ->
+        let tasks = Array.map (fun x -> submit pool (fun () -> f x)) input in
+        Array.map await tasks)
+
+let recommended_jobs () = Domain.recommended_domain_count ()

@@ -1,0 +1,47 @@
+(** Fixed-size pool of worker domains behind a FIFO work queue.
+
+    The substrate for domain-parallel sweeps: jobs are submitted as
+    thunks, executed by [jobs] worker domains pulling from a shared
+    queue (plain [Mutex]/[Condition], no dependencies), and observed
+    through per-task futures. Submission order is preserved by the
+    queue and {!map} awaits results in input order, so a pool of any
+    size produces results in a deterministic order.
+
+    Each thunk runs entirely on one worker domain — a mutable island
+    such as an [Engine.t] created inside a thunk never migrates. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs] worker domains. Raises [Invalid_argument] when
+    [jobs < 1]. *)
+
+val jobs : t -> int
+
+type 'a task
+(** A future for one submitted thunk. *)
+
+val submit : t -> (unit -> 'a) -> 'a task
+(** Enqueue a thunk. Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a task -> 'a
+(** Block until the task completes; re-raises (with its backtrace) any
+    exception the thunk raised. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then join every worker. Pending tasks still run.
+    Idempotent from the owning domain. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run the body, and {!shutdown} even on exceptions. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with results in input order. [jobs <= 1] (or
+    an input shorter than two elements) runs serially on the calling
+    domain with no pool at all, so a serial sweep is exactly the code
+    a parallel sweep runs per worker. On a thunk exception, the
+    lowest-index failure is re-raised. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the host's useful
+    parallelism (1 on a single-core host). *)

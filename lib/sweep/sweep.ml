@@ -1,0 +1,112 @@
+module Config = Resim_core.Config
+module Stats = Resim_core.Stats
+
+type scale = Default | Evaluation | Exact of int
+
+type job = {
+  label : string;
+  workload : Resim_workloads.Workload.t;
+  config : Config.t;
+  scale : scale;
+}
+
+let job ?label ?(scale = Evaluation) ~config workload =
+  let label =
+    match label with
+    | Some label -> label
+    | None -> Resim_workloads.Workload.name_of workload
+  in
+  { label; workload; config; scale }
+
+let generator_config (config : Config.t) =
+  { Resim_tracegen.Generator.predictor = config.predictor;
+    wrong_path_limit = config.rob_entries + config.ifq_entries;
+    max_instructions = 20_000_000 }
+
+type telemetry = { wall_seconds : float; host_mips : float }
+
+type result = {
+  job : job;
+  generated : Resim_tracegen.Generator.result;
+  outcome : Resim_core.Resim.outcome;
+  telemetry : telemetry;
+}
+
+let program_of job =
+  let module K = (val job.workload : Resim_workloads.Kernel_sig.S) in
+  match job.scale with
+  | Default -> K.program ()
+  | Evaluation -> K.program ~scale:K.evaluation_scale ()
+  | Exact scale -> K.program ~scale ()
+
+let run_job job =
+  let started = Unix.gettimeofday () in
+  let program = program_of job in
+  let generated =
+    Resim_tracegen.Generator.run ~config:(generator_config job.config)
+      program
+  in
+  let outcome =
+    Resim_core.Resim.simulate_trace ~config:job.config generated.records
+  in
+  let wall_seconds = Unix.gettimeofday () -. started in
+  let committed =
+    Int64.to_float (Stats.get Stats.committed outcome.stats)
+  in
+  let host_mips =
+    if wall_seconds > 0.0 then committed /. wall_seconds /. 1e6 else 0.0
+  in
+  { job; generated; outcome; telemetry = { wall_seconds; host_mips } }
+
+let run ?jobs list =
+  let jobs =
+    match jobs with Some jobs -> jobs | None -> Pool.recommended_jobs ()
+  in
+  Array.to_list (Pool.map ~jobs run_job (Array.of_list list))
+
+let total_wall results =
+  List.fold_left
+    (fun acc result -> acc +. result.telemetry.wall_seconds)
+    0.0 results
+
+let aggregate_host_mips results =
+  let committed =
+    List.fold_left
+      (fun acc result ->
+        Int64.add acc (Stats.get Stats.committed result.outcome.stats))
+      0L results
+  in
+  let wall = total_wall results in
+  if wall > 0.0 then Int64.to_float committed /. wall /. 1e6 else 0.0
+
+let scale_tag job =
+  match job.scale with
+  | Default -> "default"
+  | Evaluation ->
+      let module K = (val job.workload : Resim_workloads.Kernel_sig.S) in
+      string_of_int K.evaluation_scale
+  | Exact scale -> string_of_int scale
+
+let pp_table ppf results =
+  let v5 = Resim_fpga.Device.virtex5_xc5vlx50t in
+  Format.fprintf ppf "@[<v>%-22s %-8s %8s %3s %4s %-9s %12s %7s %10s %8s %10s@,"
+    "label" "kernel" "scale" "N" "ROB" "org" "major cyc" "IPC" "MIPS V5"
+    "wall s" "host MIPS";
+  List.iter
+    (fun result ->
+      let config = result.job.config in
+      Format.fprintf ppf
+        "%-22s %-8s %8s %3d %4d %-9s %12Ld %7.3f %10.2f %8.2f %10.3f@,"
+        result.job.label
+        (Resim_workloads.Workload.name_of result.job.workload)
+        (scale_tag result.job) config.width config.rob_entries
+        (Config.organization_name config.organization)
+        (Stats.get Stats.major_cycles result.outcome.stats)
+        (Stats.ipc result.outcome.stats)
+        (Resim_core.Resim.mips result.outcome ~device:v5)
+        result.telemetry.wall_seconds result.telemetry.host_mips)
+    results;
+  Format.fprintf ppf
+    "@,%d job(s); serial-equivalent wall %.2f s; aggregate host %.3f MIPS@]"
+    (List.length results) (total_wall results)
+    (aggregate_host_mips results)

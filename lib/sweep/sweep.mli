@@ -1,0 +1,74 @@
+(** Domain-parallel design-space sweeps.
+
+    A sweep is a list of independent jobs — (workload, configuration,
+    scale) triples — sharded across worker domains ({!Pool}). Each job
+    generates its trace and runs {!Resim_core.Resim.simulate_trace}
+    entirely on one domain (every [Engine.t] is an independent mutable
+    island, so confinement is the whole safety argument), and results
+    come back in job order with per-job wall-clock telemetry.
+
+    Trace generation and the timing engine are deterministic, so a
+    sweep's results are identical at any [jobs] count; a parallel run
+    only changes wall-clock time. *)
+
+(** Which input size to run a kernel at (mirrors the report runner). *)
+type scale =
+  | Default         (** the kernel's default scale *)
+  | Evaluation      (** the kernel's [evaluation_scale] — table runs *)
+  | Exact of int
+
+type job = {
+  label : string;
+  workload : Resim_workloads.Workload.t;
+  config : Resim_core.Config.t;
+  scale : scale;
+}
+
+val job :
+  ?label:string ->
+  ?scale:scale ->
+  config:Resim_core.Config.t ->
+  Resim_workloads.Workload.t ->
+  job
+(** [label] defaults to the kernel name; [scale] to [Evaluation]. *)
+
+val generator_config :
+  Resim_core.Config.t -> Resim_tracegen.Generator.config
+(** The generator a job derives from its engine configuration: the
+    configuration's predictor, wrong-path blocks of ROB + IFQ entries,
+    and a 20 M instruction budget. *)
+
+type telemetry = {
+  wall_seconds : float;   (** tracegen + timing run, this job only *)
+  host_mips : float;
+      (** committed simulated instructions per host wall-clock second,
+          in millions; 0 when the clock resolution swallowed the run *)
+}
+
+type result = {
+  job : job;
+  generated : Resim_tracegen.Generator.result;
+  outcome : Resim_core.Resim.outcome;
+  telemetry : telemetry;
+}
+
+val run_job : job -> result
+(** Run one job on the calling domain. *)
+
+val run : ?jobs:int -> job list -> result list
+(** Shard the jobs over [jobs] worker domains (default
+    {!Pool.recommended_jobs}; [1] runs everything on the calling
+    domain) and return results in job order. The first failing job's
+    exception, in job order, is re-raised. *)
+
+val total_wall : result list -> float
+(** Sum of per-job wall times — the serial-equivalent cost, which a
+    parallel run divides across domains. *)
+
+val aggregate_host_mips : result list -> float
+(** Total committed instructions over {!total_wall}, in MIPS. *)
+
+val pp_table : Format.formatter -> result list -> unit
+(** One row per job: label, kernel, scale, width/ROB/organization,
+    major cycles, IPC, simulated MIPS on the Virtex-5 device, and host
+    telemetry. *)

@@ -38,13 +38,13 @@ module Writer = struct
   let bit_length w = w.total
 
   let contents w =
-    if w.acc_bits > 0 then begin
-      let pad = 8 - w.acc_bits in
-      w.acc <- w.acc lsl pad;
-      w.acc_bits <- 8;
-      flush_bytes w
-    end;
-    Buffer.contents w.buffer
+    (* Zero-pad the pending bits into a final byte without touching the
+       writer state: [contents] is a pure snapshot, so calling it twice
+       — or continuing to [put] afterwards — stays correct. *)
+    if w.acc_bits = 0 then Buffer.contents w.buffer
+    else
+      Buffer.contents w.buffer
+      ^ String.make 1 (Char.chr ((w.acc lsl (8 - w.acc_bits)) land 0xff))
 end
 
 module Reader = struct

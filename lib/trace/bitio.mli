@@ -14,7 +14,9 @@ module Writer : sig
   val put_bool : t -> bool -> unit
   val bit_length : t -> int
   val contents : t -> string
-  (** Flushes a final partial byte (zero-padded). *)
+  (** The bytes written so far, a final partial byte zero-padded. A pure
+      snapshot: the writer is untouched, so [contents] is idempotent and
+      further [put]s continue from the un-padded bit position. *)
 end
 
 module Reader : sig

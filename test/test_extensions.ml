@@ -127,7 +127,8 @@ let spec_of name scale =
 let test_multicore_lockstep_equals_standalone () =
   let specs = [ spec_of "gzip" 1024; spec_of "parser" 1024 ] in
   let system = Resim_multicore.System.create specs in
-  Resim_multicore.System.run system;
+  check bool "system drains" true
+    (Resim_multicore.System.run system = `Finished);
   List.iter2
     (fun (spec : Resim_multicore.System.core_spec)
          (result : Resim_multicore.System.core_result) ->
@@ -144,7 +145,8 @@ let test_multicore_lockstep_equals_standalone () =
 let test_multicore_clock_is_slowest_core () =
   let specs = [ spec_of "gzip" 1024; spec_of "vortex" 256 ] in
   let system = Resim_multicore.System.create specs in
-  Resim_multicore.System.run system;
+  check bool "system drains" true
+    (Resim_multicore.System.run system = `Finished);
   let results = Resim_multicore.System.results system in
   let slowest =
     List.fold_left
@@ -174,7 +176,8 @@ let test_multicore_validation () =
 let test_multicore_aggregate () =
   let specs = [ spec_of "gzip" 512; spec_of "vpr" 1 ] in
   let system = Resim_multicore.System.create specs in
-  Resim_multicore.System.run system;
+  check bool "system drains" true
+    (Resim_multicore.System.run system = `Finished);
   let sum =
     List.fold_left
       (fun acc (r : Resim_multicore.System.core_result) ->
@@ -188,6 +191,27 @@ let test_multicore_aggregate () =
     (Resim_multicore.System.aggregate_mips system
        ~device:Resim_fpga.Device.virtex5_xc5vlx50t
     > 0.0)
+
+let test_multicore_truncation_reported () =
+  let specs = [ spec_of "gzip" 1024; spec_of "vpr" 1 ] in
+  let system = Resim_multicore.System.create specs in
+  check bool "budget exhausted" true
+    (Resim_multicore.System.run ~max_cycles:10L system = `Truncated);
+  check i64 "clock stops at the budget" 10L
+    (Resim_multicore.System.elapsed_cycles system);
+  List.iter
+    (fun (r : Resim_multicore.System.core_result) ->
+      check bool (r.core ^ " reported undrained") false r.drained;
+      check i64 (r.core ^ " finished_at is the truncation clock") 10L
+        r.finished_at)
+    (Resim_multicore.System.results system);
+  (* Resuming past the budget eventually drains and flips the status. *)
+  check bool "resume finishes" true
+    (Resim_multicore.System.run system = `Finished);
+  List.iter
+    (fun (r : Resim_multicore.System.core_result) ->
+      check bool (r.core ^ " drained after resume") true r.drained)
+    (Resim_multicore.System.results system)
 
 (* --- Hierarchy ----------------------------------------------------------- *)
 
@@ -465,7 +489,9 @@ let suite =
          test_multicore_lockstep_equals_standalone;
        Alcotest.test_case "clock" `Quick test_multicore_clock_is_slowest_core;
        Alcotest.test_case "validation" `Quick test_multicore_validation;
-       Alcotest.test_case "aggregates" `Quick test_multicore_aggregate ]);
+       Alcotest.test_case "aggregates" `Quick test_multicore_aggregate;
+       Alcotest.test_case "truncation reported" `Quick
+         test_multicore_truncation_reported ]);
     ("ext:hierarchy",
      [ Alcotest.test_case "L2 absorbs misses" `Quick
          test_hierarchy_l2_absorbs_misses;

@@ -13,6 +13,7 @@ let () =
          Test_baseline.suite;
          Test_workloads.suite;
          Test_reports.suite;
+         Test_sweep.suite;
          Test_extensions.suite;
          Test_consistency.suite;
          Test_tools.suite ])

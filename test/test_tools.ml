@@ -132,6 +132,25 @@ let test_vhdl_rename_table () =
   check bool "squash flush" true (contains text "valid <= (others => '0');");
   check bool "balanced" true (balanced_vhdl text)
 
+(* --- repo hygiene -------------------------------------------------------- *)
+
+let test_gitignore_excludes_build_artifacts () =
+  (* The workspace .gitignore is declared as a test dependency (see
+     test/dune), so it is present next to the build tree; keeping
+     [_build/] ignored is what stops compiled artifacts from ever being
+     committed again. *)
+  let path = "../.gitignore" in
+  check bool ".gitignore exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  check bool "_build/ is ignored" true (List.mem "_build/" !lines);
+  check bool "install files are ignored" true (List.mem "*.install" !lines)
+
 (* --- pipeline tracer ----------------------------------------------------- *)
 
 let alu ?(wrong = false) ~pc ~dest ~src1 () =
@@ -259,6 +278,9 @@ let suite =
        Alcotest.test_case "deterministic" `Quick test_vhdl_deterministic;
        Alcotest.test_case "circular queue" `Quick test_vhdl_queue;
        Alcotest.test_case "rename table" `Quick test_vhdl_rename_table ]);
+    ("tools:hygiene",
+     [ Alcotest.test_case "gitignore excludes artifacts" `Quick
+         test_gitignore_excludes_build_artifacts ]);
     ("tools:ptrace",
      [ Alcotest.test_case "stage order" `Quick test_ptrace_stage_order;
        Alcotest.test_case "serial chain" `Quick

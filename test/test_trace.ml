@@ -32,6 +32,42 @@ let test_bitio_invalid_width () =
     (Invalid_argument "Bitio.Writer.put: bits") (fun () ->
       Bitio.Writer.put w ~bits:63 1)
 
+let test_bitio_contents_idempotent () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.put w ~bits:5 0b10110;
+  let first = Bitio.Writer.contents w in
+  let second = Bitio.Writer.contents w in
+  check bool "two snapshots identical" true (first = second);
+  check int "state untouched" 5 (Bitio.Writer.bit_length w);
+  (* Writing after a snapshot continues from the un-padded position. *)
+  Bitio.Writer.put w ~bits:3 0b011;
+  let r = Bitio.Reader.create (Bitio.Writer.contents w) in
+  check int "first field" 0b10110 (Bitio.Reader.get r ~bits:5);
+  check int "field written after contents" 0b011 (Bitio.Reader.get r ~bits:3)
+
+let bitio_contents_pure_property =
+  let field = QCheck.(pair (QCheck.int_range 1 62) (int_bound max_int)) in
+  QCheck.Test.make
+    ~name:"bitio: contents is a pure snapshot (double call, put after)"
+    ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 32) field)
+        (list_of_size (Gen.int_range 1 32) field))
+    (fun (before, after) ->
+      let reference = Bitio.Writer.create () in
+      List.iter
+        (fun (bits, value) -> Bitio.Writer.put reference ~bits value)
+        (before @ after);
+      let w = Bitio.Writer.create () in
+      List.iter (fun (bits, value) -> Bitio.Writer.put w ~bits value) before;
+      let snapshot = Bitio.Writer.contents w in
+      let again = Bitio.Writer.contents w in
+      List.iter (fun (bits, value) -> Bitio.Writer.put w ~bits value) after;
+      snapshot = again
+      && Bitio.Writer.contents w = Bitio.Writer.contents reference
+      && Bitio.Writer.bit_length w = Bitio.Writer.bit_length reference)
+
 let bitio_roundtrip_property =
   let field = QCheck.(pair (QCheck.int_range 1 62) (int_bound max_int)) in
   QCheck.Test.make ~name:"bitio: arbitrary field sequences round-trip"
@@ -224,6 +260,17 @@ let codec_roundtrip_property format name =
       && Array.length decoded = Array.length records
       && Array.for_all2 Record.equal records decoded)
 
+let codec_encode_deterministic_property =
+  QCheck.Test.make
+    ~name:"codec: encoding the same records twice is byte-identical"
+    ~count:40
+    (QCheck.make record_gen)
+    (fun records ->
+      Codec.encode ~format:Codec.Fixed records
+      = Codec.encode ~format:Codec.Fixed records
+      && Codec.encode ~format:Codec.Compact records
+         = Codec.encode ~format:Codec.Compact records)
+
 (* --- profile ---------------------------------------------------------- *)
 
 let profile_records =
@@ -305,7 +352,10 @@ let suite =
      [ Alcotest.test_case "roundtrip" `Quick test_bitio_roundtrip_basic;
        Alcotest.test_case "out of bits" `Quick test_bitio_out_of_bits;
        Alcotest.test_case "invalid width" `Quick test_bitio_invalid_width;
-       QCheck_alcotest.to_alcotest bitio_roundtrip_property ]);
+       Alcotest.test_case "contents is idempotent" `Quick
+         test_bitio_contents_idempotent;
+       QCheck_alcotest.to_alcotest bitio_roundtrip_property;
+       QCheck_alcotest.to_alcotest bitio_contents_pure_property ]);
     ("trace:record",
      [ Alcotest.test_case "predicates" `Quick test_record_predicates;
        Alcotest.test_case "of_observation" `Quick test_record_of_observation
@@ -326,7 +376,8 @@ let suite =
             "codec: fixed encoding round-trips random traces");
        QCheck_alcotest.to_alcotest
          (codec_roundtrip_property Codec.Compact
-            "codec: compact encoding round-trips random traces") ]);
+            "codec: compact encoding round-trips random traces");
+       QCheck_alcotest.to_alcotest codec_encode_deterministic_property ]);
     ("trace:profile",
      [ Alcotest.test_case "hot branches" `Quick test_profile_hot_branches;
        Alcotest.test_case "pages and mix" `Quick test_profile_pages_and_mix;
