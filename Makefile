@@ -1,0 +1,24 @@
+# Convenience targets; the source of truth is dune.
+
+.PHONY: all build test check bench
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The PR gate: formatting, full build, test suite, and a bench smoke
+# that exercises the --json path end to end.
+check:
+	dune build @fmt
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --quick --json /dev/null
+
+# Refresh the committed perf trajectory (full engine grid, no paper
+# tables; takes a few minutes).
+bench:
+	dune exec bin/resim_cli.exe -- bench --json BENCH_engine.json

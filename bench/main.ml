@@ -1,7 +1,15 @@
 (* Benchmark harness: regenerates every table (1-4) and figure (2-4) of
    the paper, runs the ablation studies, and measures host throughput of
    the trace-driven engine against the execution-driven baseline with
-   Bechamel. *)
+   Bechamel.
+
+   Flags:
+     --json PATH   also write the engine host-throughput grid (host MIPS
+                   per kernel x config x scheduler) as JSON to PATH —
+                   the perf trajectory tracked across PRs
+                   (BENCH_engine.json at the repo root)
+     --quick       smoke mode: only the (shrunken) host-throughput grid,
+                   skipping tables, Bechamel and the sweep comparison *)
 
 open Bechamel
 
@@ -173,13 +181,39 @@ let sweep_section () =
     "@.(speedup tracks physical cores; oversubscribing a smaller host \
      costs domain-scheduling and GC overhead, but results stay identical)@."
 
+(* ------------------------------------------------------------------ *)
+(* Engine host-throughput grid (Scan vs Event schedulers).              *)
+
+let scheduler_section ~quick ~json =
+  section "Engine host throughput: Scan vs Event scheduler";
+  let measurements = Resim_reports.Hostbench.measure ~quick () in
+  Format.printf "%a@." Resim_reports.Hostbench.pp_table measurements;
+  match json with
+  | Some path ->
+      Resim_reports.Hostbench.write_json ~path measurements;
+      Format.printf "@.wrote %s@." path
+  | None -> ()
+
 let () =
+  let json = ref None in
+  let quick = ref false in
+  Arg.parse
+    [ ("--json", Arg.String (fun path -> json := Some path),
+       "PATH  write the engine host-MIPS grid as JSON to PATH");
+      ("--quick", Arg.Set quick,
+       "  smoke mode: host-throughput grid only, small inputs") ]
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "bench [--quick] [--json PATH]";
   Format.printf "ReSim reproduction benchmark harness (v%s)@."
     Resim_core.Resim.version;
-  reports ();
-  let csvs = Resim_reports.Csv_export.write_all ~dir:"." in
-  Format.printf "@.machine-readable tables: %s@."
-    (String.concat ", " csvs);
-  bechamel_section ();
-  sweep_section ();
+  if !quick then scheduler_section ~quick:true ~json:!json
+  else begin
+    reports ();
+    let csvs = Resim_reports.Csv_export.write_all ~dir:"." in
+    Format.printf "@.machine-readable tables: %s@."
+      (String.concat ", " csvs);
+    bechamel_section ();
+    scheduler_section ~quick:false ~json:!json;
+    sweep_section ()
+  end;
   Format.printf "@.done.@."

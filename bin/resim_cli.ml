@@ -7,6 +7,7 @@
      schedule   render a minor-cycle schedule (Figures 2-4)
      table      regenerate one of the paper's tables
      sweep      run the ablation grid as a domain-parallel sweep
+     bench      measure engine host throughput (scan vs event scheduler)
      workloads  list the built-in kernels *)
 
 open Cmdliner
@@ -377,6 +378,39 @@ let sweep_cmd =
        ~doc:"Run the full ablation grid as a domain-parallel sweep")
     Term.(const sweep $ jobs $ quick)
 
+(* --- bench ----------------------------------------------------------- *)
+
+let bench json quick =
+  let measurements = Resim_reports.Hostbench.measure ~quick () in
+  Format.printf "%a@." Resim_reports.Hostbench.pp_table measurements;
+  match json with
+  | Some path ->
+      Resim_reports.Hostbench.write_json ~path measurements;
+      Format.printf "wrote %s@." path
+  | None -> ()
+
+let bench_cmd =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the host-MIPS grid (kernel x config x scheduler) \
+                as JSON to $(docv) — the cross-PR perf trajectory \
+                (conventionally BENCH_engine.json).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Shrink the grid to one small kernel for a smoke run.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Measure engine host throughput per (kernel, config, \
+             scheduler)")
+    Term.(const bench $ json $ quick)
+
 (* --- workloads ------------------------------------------------------- *)
 
 let workloads () =
@@ -402,4 +436,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tracegen_cmd; simulate_cmd; area_cmd; schedule_cmd; table_cmd;
-            sweep_cmd; disasm_cmd; vhdl_cmd; ptrace_cmd; workloads_cmd ]))
+            sweep_cmd; bench_cmd; disasm_cmd; vhdl_cmd; ptrace_cmd;
+            workloads_cmd ]))

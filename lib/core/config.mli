@@ -19,6 +19,19 @@ val organization_name : organization -> string
 val minor_cycles_per_major : organization -> width:int -> int
 (** The latency formulas above. *)
 
+(** Host-side scheduling strategy of the timing engine. Both produce
+    bit-identical cycle counts and statistics — a property the
+    differential test suite enforces; they differ only in host cost.
+    [Scan] is the reference oracle: every phase walks the whole ROB/LSQ
+    each major cycle. [Event] only touches state that can change in the
+    current cycle (completion heap, producer→consumer wakeup lists, a
+    ready pool, incremental LSQ reclassification). *)
+type scheduler =
+  | Scan   (** O(ROB·N + LSQ²) per cycle; the reference implementation *)
+  | Event  (** O(active) per cycle; the default *)
+
+val scheduler_name : scheduler -> string
+
 type t = {
   width : int;                 (** issue width N *)
   ifq_entries : int;
@@ -36,6 +49,7 @@ type t = {
   misfetch_penalty : int;
   misspeculation_penalty : int;
   organization : organization;
+  scheduler : scheduler;
   predictor : Resim_bpred.Predictor.config;
   icache : Resim_cache.Cache.config;
   dcache : Resim_cache.Cache.config;

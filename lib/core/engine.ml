@@ -38,6 +38,15 @@ type t = {
   lsq : Lsq.t;
   rename : Rename.t;
   fu : Fu.t;
+  (* Event-scheduler state (unused in Scan mode). [completion] holds
+     issued entries keyed by (complete_at, id); [due] holds completed
+     executions awaiting a broadcast slot, keyed by (0, id) so the
+     paper's oldest-first broadcast order is preserved when more than N
+     results are due; [ready] is the issue pool, also in (0, id) order.
+     Squashed entries are dropped lazily when popped. *)
+  completion : Entry.t Event_queue.t;
+  due : Entry.t Event_queue.t;
+  ready : Entry.t Event_queue.t;
   predictor : Bpred.Predictor.t;
   icache : Hierarchy.t;
   dcache : Hierarchy.t;
@@ -70,6 +79,9 @@ let create_from_source ?(config = Config.reference) source =
     lsq = Lsq.create ~entries:config.lsq_entries;
     rename = Rename.create ~registers:Resim_isa.Reg.count;
     fu = Fu.create config;
+    completion = Event_queue.create ();
+    due = Event_queue.create ();
+    ready = Event_queue.create ();
     predictor = Bpred.Predictor.create config.predictor;
     icache =
       Hierarchy.create ~timing:config.cache_timing config.icache ~l2:shared_l2;
@@ -103,16 +115,97 @@ let notify t event =
   | Some observer -> observer event
   | None -> ()
 
+(* Hot paths guard event construction on this test: the [Ev_*]
+   constructor argument would otherwise box on every instruction even
+   with no observer attached. *)
+let[@inline] observed t = t.observer != None
+
 let record_at t index = Source.at t.source index
 
 let finished t =
-  record_at t t.cursor = None
+  (not (Source.has t.source t.cursor))
   && Ring.is_empty t.ifq && Ring.is_empty t.decouple && Rob.is_empty t.rob
+
+(* ------------------------------------------------------------------ *)
+(* Event scheduler: touch only state that can change this cycle.
+   Correctness invariants (proved against the Scan oracle by the
+   differential suite):
+   - broadcast selection is the N oldest entries whose execution is due,
+     exactly as the oldest-first ROB scan picks them;
+   - the ready pool holds exactly the entries the scan's [try_issue]
+     would act on (issue, allocate a unit, or charge a port stall), in
+     the same oldest-first order;
+   - a load's readiness is reclassified on every change of its
+     classification inputs (its own sources, an older store's
+     address/data, a store's retirement), so its value at issue time
+     equals the per-cycle Lsq_refresh result. *)
+
+let event_mode t =
+  match t.config.Config.scheduler with
+  | Config.Event -> true
+  | Config.Scan -> false
+
+let push_ready t (entry : Entry.t) =
+  if not entry.in_ready then begin
+    entry.in_ready <- true;
+    Event_queue.push t.ready ~at:0 ~id:entry.id entry
+  end
+
+let load_is_ready (entry : Entry.t) =
+  match entry.load_readiness with
+  | Entry.Load_forward | Entry.Load_needs_port -> true
+  | Entry.Load_not_checked | Entry.Load_blocked -> false
+
+(* Pool membership for loads is monotone: once a load classifies as
+   Forward or Needs_port it stays issuable (the value may still flip
+   between those two, e.g. when the forwarding store retires first). *)
+let pool_load t (load : Entry.t) = if load_is_ready load then push_ready t load
+
+let reclassify_load t (load : Entry.t) =
+  Lsq.refresh_entry t.lsq load;
+  pool_load t load
+
+(* An older store's address or data just resolved, or a store retired:
+   only loads younger than it can change classification. *)
+let store_resolved t (store : Entry.t) =
+  Lsq.refresh_younger t.lsq ~than_id:store.Entry.id
+    ~reclassified:(pool_load t)
+
+let store_retired t =
+  Lsq.refresh_younger t.lsq ~than_id:(-1) ~reclassified:(pool_load t)
+
+(* At dispatch, hang the new entry off its producers' wakeup lists (a
+   producer with a live rename mapping is necessarily still in the
+   window) and seed the ready pool / LSQ classification. *)
+let register_dispatched t (entry : Entry.t) =
+  let register id =
+    match Rob.entry_by_id t.rob id with
+    | Some producer ->
+        producer.Entry.dependents <- entry :: producer.Entry.dependents
+    | None ->
+        failwith
+          (Printf.sprintf
+             "Engine: entry #%d depends on #%d which is not in flight"
+             entry.id id)
+  in
+  let src1 = entry.src1_producer in
+  let src2 = entry.src2_producer in
+  if src1 >= 0 then register src1;
+  if src2 >= 0 && src2 <> src1 then register src2;
+  if Entry.is_load entry then begin
+    if Entry.sources_ready entry then reclassify_load t entry
+  end
+  else if Entry.sources_ready entry then push_ready t entry
 
 (* ------------------------------------------------------------------ *)
 (* Squash: branch resolution at commit flushes everything younger.     *)
 
 let squash t (branch : Entry.t) =
+  if event_mode t then
+    Rob.iter
+      (fun (entry : Entry.t) ->
+        if entry.id > branch.id then entry.squashed <- true)
+      t.rob;
   if t.observer <> None then begin
     Rob.iter
       (fun (entry : Entry.t) ->
@@ -152,12 +245,12 @@ let commit_phase t =
   let committed = ref 0 in
   let blocked = ref false in
   let write_ports_used = ref 0 in
+  let now = Int64.to_int t.cycle in
   while (not !blocked) && !committed < t.config.width do
-    match Rob.head t.rob with
-    | None -> blocked := true
-    | Some entry ->
-        if entry.state <> Entry.Completed
-           || Int64.compare entry.completed_cycle t.cycle >= 0
+    if Rob.is_empty t.rob then blocked := true
+    else begin
+      let entry = Rob.first t.rob in
+        if entry.Entry.state <> Entry.Completed || entry.completed_cycle >= now
         then blocked := true
         else if Entry.is_wrong_path entry then
           failwith "Engine: wrong-path instruction reached commit"
@@ -181,10 +274,13 @@ let commit_phase t =
             else true
           in
           if entry_commits then begin
-            ignore (Rob.pop_head t.rob);
-            if Trace.Record.is_memory entry.record then
+            Rob.drop_head t.rob;
+            if Trace.Record.is_memory entry.record then begin
               Lsq.release_head t.lsq entry;
-            notify t (Ev_commit entry);
+              (* A retired store stops shadowing younger loads. *)
+              if event_mode t && Entry.is_store entry then store_retired t
+            end;
+            if observed t then notify t (Ev_commit entry);
             Stats.incr t.stats Stats.committed;
             incr committed;
             (match entry.record.payload with
@@ -214,6 +310,7 @@ let commit_phase t =
             | Trace.Record.Other { op_class = Trace.Record.Alu } -> ())
           end
         end
+    end
   done;
   Stats.observe_commit_width t.stats !committed
 
@@ -221,45 +318,112 @@ let commit_phase t =
 (* Writeback: the oldest completed executions broadcast and wake their
    dependents; same-cycle issue of woken instructions is legal.         *)
 
-let wakeup t (producer : Entry.t) =
+let wakeup_scan t (producer : Entry.t) =
   Rob.iter
     (fun (dependent : Entry.t) ->
-      if dependent.src1_producer = Some producer.id then
-        dependent.src1_producer <- None;
-      if dependent.src2_producer = Some producer.id then
-        dependent.src2_producer <- None)
+      if dependent.src1_producer = producer.id then
+        dependent.src1_producer <- Entry.no_producer;
+      if dependent.src2_producer = producer.id then
+        dependent.src2_producer <- Entry.no_producer)
     t.rob;
   let dest = producer.record.Trace.Record.dest in
   if dest > 0 then Rename.clear t.rename ~reg:dest ~id:producer.id
 
-let writeback_phase t =
+(* Event wakeup: walk only the registered consumers. Clearing a source
+   of a waiting store means its address (src1) or data (src2) just
+   resolved, which can reclassify younger loads. *)
+let wakeup_event t (producer : Entry.t) =
+  let dependents = producer.Entry.dependents in
+  producer.Entry.dependents <- [];
+  (* The cons list is youngest-first; processing order among a
+     producer's dependents is immaterial (the ready pool orders by id
+     and [in_ready] dedups; a load woken before a sibling store
+     resolves is reclassified again by that store's [store_resolved]),
+     so iterate directly instead of allocating a [List.rev] copy. *)
+  List.iter
+    (fun (dependent : Entry.t) ->
+      if not dependent.squashed then begin
+        let cleared = ref false in
+        if dependent.src1_producer = producer.id then begin
+          dependent.src1_producer <- Entry.no_producer;
+          cleared := true
+        end;
+        if dependent.src2_producer = producer.id then begin
+          dependent.src2_producer <- Entry.no_producer;
+          cleared := true
+        end;
+        if !cleared && dependent.state = Entry.Dispatched then
+          if Entry.is_load dependent then begin
+            if Entry.sources_ready dependent then reclassify_load t dependent
+          end
+          else begin
+            if Entry.sources_ready dependent then push_ready t dependent;
+            if Entry.is_store dependent then store_resolved t dependent
+          end
+      end)
+    dependents;
+  let dest = producer.record.Trace.Record.dest in
+  if dest > 0 then Rename.clear t.rename ~reg:dest ~id:producer.id
+
+let writeback_phase_scan t =
   let broadcast = ref 0 in
+  let now = Int64.to_int t.cycle in
   (* Oldest-first scan; at most N broadcasts per major cycle. *)
   (try
      Rob.iter
        (fun (entry : Entry.t) ->
          if !broadcast >= t.config.width then raise Exit;
-         if entry.state = Entry.Issued
-            && Int64.compare entry.complete_at t.cycle <= 0
+         if entry.state = Entry.Issued && entry.complete_at <= now
          then begin
            entry.state <- Entry.Completed;
-           entry.completed_cycle <- t.cycle;
-           notify t (Ev_complete entry);
-           wakeup t entry;
+           entry.completed_cycle <- now;
+           if observed t then notify t (Ev_complete entry);
+           wakeup_scan t entry;
            incr broadcast
          end)
        t.rob
    with Exit -> ())
 
+let writeback_phase_event t =
+  (* Move every execution that is due this cycle from the completion
+     heap to the broadcast queue, then broadcast the N oldest. Results
+     beyond the bandwidth stay queued — exactly the entries the scan
+     would find still Issued-and-due next cycle. *)
+  let now = Int64.to_int t.cycle in
+  while Event_queue.min_at t.completion <= now do
+    let entry : Entry.t = Event_queue.top t.completion in
+    Event_queue.drop t.completion;
+    if (not entry.squashed) && entry.state = Entry.Issued then
+      Event_queue.push t.due ~at:0 ~id:entry.id entry
+  done;
+  let broadcast = ref 0 in
+  while !broadcast < t.config.width && not (Event_queue.is_empty t.due) do
+    let entry : Entry.t = Event_queue.top t.due in
+    Event_queue.drop t.due;
+    if (not entry.squashed) && entry.state = Entry.Issued then begin
+      entry.state <- Entry.Completed;
+      entry.completed_cycle <- now;
+      if observed t then notify t (Ev_complete entry);
+      wakeup_event t entry;
+      incr broadcast
+    end
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Issue: schedule ready instructions onto units, oldest first.         *)
 
-type issue_verdict = Issued_with of int | No_unit | Not_ready
+(* Issue verdicts are bare ints so the once-per-candidate-per-cycle hot
+   path allocates nothing: a non-negative verdict is the operation
+   latency, [verdict_no_unit] (= [Fu.no_unit]) a structural stall and
+   [verdict_not_ready] unresolved sources. *)
+let verdict_no_unit = Fu.no_unit
+let verdict_not_ready = -2
 
 let try_issue t ~reads_used (entry : Entry.t) =
+  let now = Int64.to_int t.cycle in
   match entry.record.payload with
   | Trace.Record.Other { op_class } ->
-      if not (Entry.sources_ready entry) then Not_ready
+      if not (Entry.sources_ready entry) then verdict_not_ready
       else begin
         let request =
           match op_class with
@@ -267,55 +431,49 @@ let try_issue t ~reads_used (entry : Entry.t) =
           | Trace.Record.Mult -> Fu.Mult
           | Trace.Record.Divide -> Fu.Div
         in
-        match Fu.try_allocate t.fu request ~now:t.cycle with
-        | Some latency -> Issued_with latency
-        | None -> No_unit
+        Fu.try_allocate t.fu request ~now
       end
   | Trace.Record.Branch _ ->
-      if not (Entry.sources_ready entry) then Not_ready
-      else begin
-        match Fu.try_allocate t.fu Fu.Alu ~now:t.cycle with
-        | Some latency -> Issued_with latency
-        | None -> No_unit
-      end
+      if not (Entry.sources_ready entry) then verdict_not_ready
+      else Fu.try_allocate t.fu Fu.Alu ~now
   | Trace.Record.Memory { is_load = false; _ } ->
       (* Store: address generation on an ALU; memory write at commit. *)
-      if not (Entry.sources_ready entry) then Not_ready
-      else begin
-        match Fu.try_allocate t.fu Fu.Alu ~now:t.cycle with
-        | Some _ -> Issued_with 1
-        | None -> No_unit
-      end
+      if not (Entry.sources_ready entry) then verdict_not_ready
+      else if Fu.try_allocate t.fu Fu.Alu ~now >= 0 then 1
+      else verdict_no_unit
   | Trace.Record.Memory { is_load = true; address } -> (
       match entry.load_readiness with
-      | Entry.Load_not_checked | Entry.Load_blocked -> Not_ready
-      | Entry.Load_forward -> (
-          match Fu.try_allocate t.fu Fu.Alu ~now:t.cycle with
-          | Some _ ->
-              entry.forwarded <- true;
-              Issued_with 1
-          | None -> No_unit)
+      | Entry.Load_not_checked | Entry.Load_blocked -> verdict_not_ready
+      | Entry.Load_forward ->
+          if Fu.try_allocate t.fu Fu.Alu ~now >= 0 then begin
+            entry.forwarded <- true;
+            1
+          end
+          else verdict_no_unit
       | Entry.Load_needs_port ->
           if !reads_used >= t.config.mem_read_ports then begin
             Stats.incr t.stats Stats.read_port_stalls;
-            No_unit
+            verdict_no_unit
           end
-          else begin
-            match Fu.try_allocate t.fu Fu.Alu ~now:t.cycle with
-            | Some _ ->
-                incr reads_used;
-                let access = Hierarchy.access t.dcache ~addr:address ~write:false in
-                Issued_with (1 + access)
-            | None -> No_unit
-          end)
+          else if Fu.try_allocate t.fu Fu.Alu ~now >= 0 then begin
+            incr reads_used;
+            let access =
+              Hierarchy.access t.dcache ~addr:address ~write:false
+            in
+            1 + access
+          end
+          else verdict_no_unit)
 
 let issue_entry t entry ~latency =
   entry.Entry.state <- Entry.Issued;
-  entry.Entry.complete_at <- Int64.add t.cycle (Int64.of_int latency);
-  notify t (Ev_issue entry);
+  entry.Entry.complete_at <- Int64.to_int t.cycle + latency;
+  if event_mode t then
+    Event_queue.push t.completion ~at:entry.Entry.complete_at
+      ~id:entry.Entry.id entry;
+  if observed t then notify t (Ev_issue entry);
   Stats.incr t.stats Stats.issued
 
-let issue_phase t =
+let issue_phase_scan t =
   Fu.begin_cycle t.fu;
   let slots_used = ref 0 in
   let reads_used = ref 0 in
@@ -328,12 +486,12 @@ let issue_phase t =
         (fun (entry : Entry.t) ->
           if entry.state = Entry.Dispatched && not (Entry.is_load entry)
           then begin
-            match try_issue t ~reads_used entry with
-            | Issued_with latency ->
-                issue_entry t entry ~latency;
-                incr slots_used;
-                raise Exit
-            | No_unit | Not_ready -> ()
+            let latency = try_issue t ~reads_used entry in
+            if latency >= 0 then begin
+              issue_entry t entry ~latency;
+              incr slots_used;
+              raise Exit
+            end
           end)
         t.rob
     with Exit -> ()
@@ -343,14 +501,72 @@ let issue_phase t =
        (fun (entry : Entry.t) ->
          if !slots_used >= width then raise Exit;
          if entry.state = Entry.Dispatched then begin
-           match try_issue t ~reads_used entry with
-           | Issued_with latency ->
-               issue_entry t entry ~latency;
-               incr slots_used
-           | No_unit | Not_ready -> ()
+           let latency = try_issue t ~reads_used entry in
+           if latency >= 0 then begin
+             issue_entry t entry ~latency;
+             incr slots_used
+           end
          end)
        t.rob
    with Exit -> ());
+  Stats.observe_issue_width t.stats !slots_used
+
+let issue_phase_event t =
+  Fu.begin_cycle t.fu;
+  let slots_used = ref 0 in
+  let reads_used = ref 0 in
+  let width = t.config.width in
+  (* Drain the pool oldest-first; entries that do not issue this cycle
+     re-enter it. The pool holds exactly the source-ready entries, so
+     walking it reproduces the scan's visit order over every entry whose
+     [try_issue] could have an effect (including port-stall charges). *)
+  let rec drain acc =
+    if Event_queue.is_empty t.ready then List.rev acc
+    else begin
+      let entry : Entry.t = Event_queue.top t.ready in
+      Event_queue.drop t.ready;
+      entry.in_ready <- false;
+      if (not entry.squashed) && entry.state = Entry.Dispatched then
+        drain (entry :: acc)
+      else drain acc
+    end
+  in
+  let candidates = drain [] in
+  let first_slot = ref (-1) in
+  (* Load-barred first slot of the Optimized organization. *)
+  if t.config.organization = Config.Optimized then begin
+    try
+      List.iter
+        (fun (entry : Entry.t) ->
+          if not (Entry.is_load entry) then begin
+            let latency = try_issue t ~reads_used entry in
+            if latency >= 0 then begin
+              issue_entry t entry ~latency;
+              incr slots_used;
+              first_slot := entry.id;
+              raise Exit
+            end
+          end)
+        candidates
+    with Exit -> ()
+  end;
+  List.iter
+    (fun (entry : Entry.t) ->
+      if entry.id <> !first_slot then begin
+        if !slots_used >= width then
+          (* Past the width cutoff the scan stops visiting entries, so
+             charge no stalls — just keep them ready for next cycle. *)
+          push_ready t entry
+        else begin
+          let latency = try_issue t ~reads_used entry in
+          if latency >= 0 then begin
+            issue_entry t entry ~latency;
+            incr slots_used
+          end
+          else push_ready t entry
+        end
+      end)
+    candidates;
   Stats.observe_issue_width t.stats !slots_used
 
 (* ------------------------------------------------------------------ *)
@@ -360,9 +576,9 @@ let dispatch_phase t =
   let count = ref 0 in
   let blocked = ref false in
   while (not !blocked) && !count < t.config.width do
-    match Ring.peek t.decouple with
-    | None -> blocked := true
-    | Some fetched ->
+    if Ring.is_empty t.decouple then blocked := true
+    else begin
+      let fetched = Ring.front t.decouple in
         if Rob.is_full t.rob then begin
           Stats.incr t.stats Stats.rob_full_stalls;
           blocked := true
@@ -374,7 +590,7 @@ let dispatch_phase t =
           blocked := true
         end
         else begin
-          ignore (Ring.pop t.decouple);
+          Ring.drop t.decouple;
           let entry = Rob.dispatch t.rob fetched.record in
           entry.squash_on_commit <- fetched.squash_at_commit;
           entry.ras_repair <- fetched.ras_repair;
@@ -386,10 +602,12 @@ let dispatch_phase t =
             Rename.define t.rename ~reg:fetched.record.dest ~id:entry.id;
           if Trace.Record.is_memory fetched.record then
             Lsq.dispatch t.lsq entry;
-          notify t (Ev_dispatch entry);
+          if event_mode t then register_dispatched t entry;
+          if observed t then notify t (Ev_dispatch entry);
           Stats.incr t.stats Stats.dispatched;
           incr count
         end
+    end
   done
 
 (* Decouple: IFQ -> decouple buffer, up to N per cycle. *)
@@ -400,11 +618,8 @@ let decouple_phase t =
     && (not (Ring.is_empty t.ifq))
     && not (Ring.is_full t.decouple)
   do
-    match Ring.pop t.ifq with
-    | Some fetched ->
-        Ring.push t.decouple fetched;
-        incr moved
-    | None -> ()
+    Ring.push t.decouple (Ring.take t.ifq);
+    incr moved
   done
 
 (* ------------------------------------------------------------------ *)
@@ -481,9 +696,9 @@ let fetch_phase t =
       (not !stop) && !fetched_count < t.config.width
       && not (Ring.is_full t.ifq)
     do
-      match record_at t t.cursor with
-      | None -> stop := true
-      | Some record ->
+      if not (Source.has t.source t.cursor) then stop := true
+      else begin
+      let record = Source.get t.source t.cursor in
       (match t.fetch_mode with
       | Awaiting_resolution -> stop := true
       | Wrong_path when not record.wrong_path ->
@@ -510,7 +725,7 @@ let fetch_phase t =
               in
               if extra > 0 then begin
                 t.fetch_stall <- extra;
-                Stats.add t.stats Stats.icache_stall_cycles (Int64.of_int extra);
+                Stats.add t.stats Stats.icache_stall_cycles extra;
                 true
               end
               else false
@@ -531,11 +746,12 @@ let fetch_phase t =
                     false )
             in
             Ring.push t.ifq fetched;
-            notify t (Ev_fetch record);
+            if observed t then notify t (Ev_fetch record);
             incr fetched_count;
             (* Fetch until a control-flow bubble (§III). *)
             if taken then stop := true
           end)
+      end
     done
   end
 
@@ -544,9 +760,16 @@ let fetch_phase t =
 let step t =
   if not (finished t) then begin
     commit_phase t;
-    writeback_phase t;
-    Lsq.refresh t.lsq;
-    issue_phase t;
+    (match t.config.scheduler with
+    | Config.Scan ->
+        writeback_phase_scan t;
+        Lsq.refresh t.lsq;
+        issue_phase_scan t
+    | Config.Event ->
+        (* LSQ readiness is maintained incrementally by the commit,
+           wakeup and dispatch hooks — no per-cycle refresh. *)
+        writeback_phase_event t;
+        issue_phase_event t);
     dispatch_phase t;
     decouple_phase t;
     fetch_phase t;
@@ -556,34 +779,46 @@ let step t =
     Stats.incr t.stats Stats.major_cycles
   end
 
-let progress_signature t =
-  (t.cursor, Stats.get Stats.committed t.stats, Rob.length t.rob)
+let fetch_mode_name t =
+  match t.fetch_mode with
+  | Normal -> "normal"
+  | Wrong_path -> "wrong-path"
+  | Awaiting_resolution -> "awaiting"
 
 let run ?(max_cycles = 1_000_000_000L) t =
-  let last_progress = ref (progress_signature t) in
+  (* Progress watchdog on plain ints: this loop runs every cycle. *)
+  let last_cursor = ref t.cursor in
+  let last_committed = ref (Stats.get_int Stats.committed t.stats) in
+  let last_rob = ref (Rob.length t.rob) in
   let stuck_for = ref 0 in
   while not (finished t) do
     if Int64.compare t.cycle max_cycles >= 0 then
       raise
-        (Deadlock (Printf.sprintf "exceeded max_cycles at cursor %d" t.cursor));
+        (Deadlock
+           (Printf.sprintf
+              "exceeded max_cycles at cycle %Ld (cursor %d, rob %d, mode %s)"
+              t.cycle t.cursor (Rob.length t.rob) (fetch_mode_name t)));
     step t;
-    let now = progress_signature t in
-    if now = !last_progress then begin
+    let committed = Stats.get_int Stats.committed t.stats in
+    let rob = Rob.length t.rob in
+    if t.cursor = !last_cursor && committed = !last_committed
+       && rob = !last_rob
+    then begin
       incr stuck_for;
       if !stuck_for > 100_000 then
         raise
           (Deadlock
              (Printf.sprintf
-                "no progress for %d cycles (cursor %d, rob %d, mode %s)"
-                !stuck_for t.cursor (Rob.length t.rob)
-                (match t.fetch_mode with
-                | Normal -> "normal"
-                | Wrong_path -> "wrong-path"
-                | Awaiting_resolution -> "awaiting")))
+                "no progress for %d cycles (cycle %Ld, cursor %d, rob %d, \
+                 mode %s)"
+                !stuck_for t.cycle t.cursor (Rob.length t.rob)
+                (fetch_mode_name t)))
     end
     else begin
       stuck_for := 0;
-      last_progress := now
+      last_cursor := t.cursor;
+      last_committed := committed;
+      last_rob := rob
     end
   done;
   t.stats

@@ -9,31 +9,39 @@ type load_readiness =
 type t = {
   id : int;
   record : Resim_trace.Record.t;
-  mutable src1_producer : int option;
-  mutable src2_producer : int option;
+  mutable src1_producer : int;
+  mutable src2_producer : int;
   mutable state : state;
-  mutable complete_at : int64;
-  mutable completed_cycle : int64;
+  mutable complete_at : int;
+  mutable completed_cycle : int;
   mutable load_readiness : load_readiness;
   mutable forwarded : bool;
   mutable squash_on_commit : bool;
   mutable ras_repair : Resim_bpred.Ras.t option;
+  mutable dependents : t list;
+  mutable in_ready : bool;
+  mutable squashed : bool;
 }
+
+let no_producer = -1
 
 let make ~id record =
   { id;
     record;
-    src1_producer = None;
-    src2_producer = None;
+    src1_producer = no_producer;
+    src2_producer = no_producer;
     state = Dispatched;
-    complete_at = Int64.max_int;
-    completed_cycle = Int64.max_int;
+    complete_at = max_int;
+    completed_cycle = max_int;
     load_readiness = Load_not_checked;
     forwarded = false;
     squash_on_commit = false;
-    ras_repair = None }
+    ras_repair = None;
+    dependents = [];
+    in_ready = false;
+    squashed = false }
 
-let sources_ready t = t.src1_producer = None && t.src2_producer = None
+let sources_ready t = t.src1_producer < 0 && t.src2_producer < 0
 
 let is_load t = Resim_trace.Record.is_load t.record
 let is_store t = Resim_trace.Record.is_store t.record

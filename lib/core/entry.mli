@@ -20,11 +20,14 @@ type load_readiness =
 type t = {
   id : int;  (** global program-order sequence number *)
   record : Resim_trace.Record.t;
-  mutable src1_producer : int option;  (** producing entry id, if pending *)
-  mutable src2_producer : int option;
+  mutable src1_producer : int;
+      (** producing entry id; {!no_producer} when the operand is ready.
+          Unboxed so the per-wakeup compare/clear never allocates. *)
+  mutable src2_producer : int;
   mutable state : state;
-  mutable complete_at : int64;
-  mutable completed_cycle : int64;
+  mutable complete_at : int;
+      (** host int: a 63-bit cycle count exceeds any reachable run *)
+  mutable completed_cycle : int;
       (** cycle the result was broadcast; commit requires it to be a past
           cycle — the paper's same-cycle flag *)
   mutable load_readiness : load_readiness;
@@ -32,7 +35,19 @@ type t = {
   mutable squash_on_commit : bool;
       (** mispredicted branch: resolves and squashes at commit *)
   mutable ras_repair : Resim_bpred.Ras.t option;
+  mutable dependents : t list;
+      (** event scheduler: younger entries whose sources this entry
+          produces, registered at their dispatch and woken (only them —
+          not the whole ROB) when this entry's result broadcasts *)
+  mutable in_ready : bool;
+      (** event scheduler: entry currently sits in the ready pool *)
+  mutable squashed : bool;
+      (** event scheduler: entry was squashed; pending heap/pool/wakeup
+          references to it are skipped lazily *)
 }
+
+val no_producer : int
+(** Sentinel ([-1]) for a resolved source operand. *)
 
 val make : id:int -> Resim_trace.Record.t -> t
 

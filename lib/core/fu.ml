@@ -2,54 +2,57 @@ type t = {
   config : Config.t;
   mutable alu_used : int;
   mutable mult_used : int;
-  div_busy_until : int64 array;
-  mutable alu_allocations : int64;
+  div_busy_until : int array;
+  mutable alu_allocations : int;
 }
 
 type request = Alu | Mult | Div
+
+let no_unit = -1
 
 let create (config : Config.t) =
   { config;
     alu_used = 0;
     mult_used = 0;
-    div_busy_until = Array.make config.div_count 0L;
-    alu_allocations = 0L }
+    div_busy_until = Array.make config.div_count 0;
+    alu_allocations = 0 }
 
 let begin_cycle t =
   t.alu_used <- 0;
   t.mult_used <- 0
 
+(* Returns the operation latency, or [no_unit]: the result feeds the
+   issue loop once per attempt, so it must not box an option. *)
 let try_allocate t request ~now =
   match request with
   | Alu ->
       if t.alu_used < t.config.alu_count then begin
         t.alu_used <- t.alu_used + 1;
-        t.alu_allocations <- Int64.add t.alu_allocations 1L;
-        Some t.config.alu_latency
+        t.alu_allocations <- t.alu_allocations + 1;
+        t.config.alu_latency
       end
-      else None
+      else no_unit
   | Mult ->
       if t.mult_used < t.config.mult_count then begin
         t.mult_used <- t.mult_used + 1;
-        Some t.config.mult_latency
+        t.config.mult_latency
       end
-      else None
+      else no_unit
   | Div ->
       let rec scan i =
-        if i >= Array.length t.div_busy_until then None
-        else if Int64.compare t.div_busy_until.(i) now <= 0 then begin
-          t.div_busy_until.(i) <-
-            Int64.add now (Int64.of_int t.config.div_latency);
-          Some t.config.div_latency
+        if i >= Array.length t.div_busy_until then no_unit
+        else if t.div_busy_until.(i) <= now then begin
+          t.div_busy_until.(i) <- now + t.config.div_latency;
+          t.config.div_latency
         end
         else scan (i + 1)
       in
       scan 0
 
-let flush t = Array.fill t.div_busy_until 0 (Array.length t.div_busy_until) 0L
+let flush t = Array.fill t.div_busy_until 0 (Array.length t.div_busy_until) 0
 
 let alu_busy_fraction t ~cycles =
   if Int64.equal cycles 0L || t.config.alu_count = 0 then 0.0
   else
-    Int64.to_float t.alu_allocations
+    float_of_int t.alu_allocations
     /. (Int64.to_float cycles *. float_of_int t.config.alu_count)

@@ -15,9 +15,14 @@ val create : Config.t -> t
 val begin_cycle : t -> unit
 (** Reset per-cycle allocation counts; call once per major cycle. *)
 
-val try_allocate : t -> request -> now:int64 -> int option
-(** [Some latency] when a unit of the requested class accepted the
-    operation this cycle, [None] otherwise. *)
+val no_unit : int
+(** Negative sentinel returned by {!try_allocate} when no unit is free. *)
+
+val try_allocate : t -> request -> now:int -> int
+(** The operation latency when a unit of the requested class accepted
+    the operation this cycle, [no_unit] otherwise. Returns a bare [int]
+    rather than an option: the issue loop calls this once per candidate
+    per cycle and must not allocate. *)
 
 val flush : t -> unit
 (** Squash: abandon in-flight work (frees the divider). *)

@@ -1,8 +1,10 @@
-type t = { counts : int64 array; mutable total : int64 }
+(* Bins are host ints so the per-cycle [observe] never allocates; the
+   int64 API widens on read. *)
+type t = { counts : int array; mutable total : int }
 
 let create ~bins =
   if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
-  { counts = Array.make bins 0L; total = 0L }
+  { counts = Array.make bins 0; total = 0 }
 
 let bins t = Array.length t.counts
 
@@ -12,34 +14,33 @@ let observe t value =
     else if value >= bins t then bins t - 1
     else value
   in
-  t.counts.(slot) <- Int64.add t.counts.(slot) 1L;
-  t.total <- Int64.add t.total 1L
+  t.counts.(slot) <- t.counts.(slot) + 1;
+  t.total <- t.total + 1
 
 let count t i =
-  if i < 0 || i >= bins t then 0L else t.counts.(i)
+  if i < 0 || i >= bins t then 0L else Int64.of_int t.counts.(i)
 
-let total t = t.total
+let total t = Int64.of_int t.total
 
 let mean t =
-  if Int64.equal t.total 0L then 0.0
+  if t.total = 0 then 0.0
   else begin
     let weighted = ref 0.0 in
     Array.iteri
       (fun value count ->
-        weighted := !weighted +. (float_of_int value *. Int64.to_float count))
+        weighted := !weighted +. (float_of_int value *. float_of_int count))
       t.counts;
-    !weighted /. Int64.to_float t.total
+    !weighted /. float_of_int t.total
   end
 
 let fraction_at t i =
-  if Int64.equal t.total 0L then 0.0
-  else Int64.to_float (count t i) /. Int64.to_float t.total
+  if t.total = 0 then 0.0
+  else Int64.to_float (count t i) /. float_of_int t.total
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>";
   Array.iteri
     (fun value count ->
-      if Int64.compare count 0L > 0 then
-        Format.fprintf ppf "%d:%Ld " value count)
+      if count > 0 then Format.fprintf ppf "%d:%d " value count)
     t.counts;
   Format.fprintf ppf "(mean %.2f)@]" (mean t)

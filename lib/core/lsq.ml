@@ -17,8 +17,8 @@ let word_address (entry : Entry.t) =
 
 (* A store's address is known once its base register (src1) is
    available; its data once src2 is. *)
-let store_address_known (store : Entry.t) = store.src1_producer = None
-let store_data_ready (store : Entry.t) = store.src2_producer = None
+let store_address_known (store : Entry.t) = store.src1_producer < 0
+let store_data_ready (store : Entry.t) = store.src2_producer < 0
 
 (* Decide one load's readiness by scanning every older store, nearest
    first: an unknown older address blocks; a matching known address
@@ -53,6 +53,42 @@ let refresh t =
     (fun position (entry : Entry.t) ->
       if Entry.is_load entry && entry.state = Entry.Dispatched then
         entry.load_readiness <- classify_load t ~position entry)
+    t.ring
+
+(* Incremental variants for the event-driven scheduler: instead of the
+   per-cycle full refresh, a load is reclassified only when one of its
+   classification inputs changes — its own sources resolve
+   ([refresh_entry]), or an older store's address/data resolves or the
+   store retires ([refresh_younger]). Classification of a load depends
+   only on older stores, so a squash (which removes a suffix) never
+   requires reclassifying the survivors. *)
+
+let position_of t (entry : Entry.t) =
+  let n = Ring.length t.ring in
+  let rec scan i =
+    if i >= n then None
+    else if (Ring.get t.ring i).Entry.id = entry.id then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let refresh_entry t (entry : Entry.t) =
+  if Entry.is_load entry && entry.state = Entry.Dispatched then
+    match position_of t entry with
+    | Some position ->
+        entry.load_readiness <- classify_load t ~position entry
+    | None -> ()
+
+let refresh_younger t ~than_id ~reclassified =
+  Ring.iteri
+    (fun position (entry : Entry.t) ->
+      if
+        entry.id > than_id && Entry.is_load entry
+        && entry.state = Entry.Dispatched
+      then begin
+        entry.load_readiness <- classify_load t ~position entry;
+        reclassified entry
+      end)
     t.ring
 
 let release_head t entry =

@@ -1,26 +1,28 @@
-type t = { producers : int option array }
+(* Producers are a flat int array with Entry.no_producer (-1) for "no
+   mapping": dispatch reads two slots per instruction, so the lookup
+   must not allocate. *)
+type t = { producers : int array }
 
 let create ~registers =
   if registers <= 0 then invalid_arg "Rename.create";
-  { producers = Array.make registers None }
+  { producers = Array.make registers Entry.no_producer }
 
 let producer t reg =
-  if reg <= 0 || reg >= Array.length t.producers then None
+  if reg <= 0 || reg >= Array.length t.producers then Entry.no_producer
   else t.producers.(reg)
 
 let define t ~reg ~id =
-  if reg > 0 && reg < Array.length t.producers then
-    t.producers.(reg) <- Some id
+  if reg > 0 && reg < Array.length t.producers then t.producers.(reg) <- id
 
 let clear t ~reg ~id =
-  if reg > 0 && reg < Array.length t.producers then
-    match t.producers.(reg) with
-    | Some owner when owner = id -> t.producers.(reg) <- None
-    | Some _ | None -> ()
+  if reg > 0 && reg < Array.length t.producers
+     && t.producers.(reg) = id
+  then t.producers.(reg) <- Entry.no_producer
 
-let reset t = Array.fill t.producers 0 (Array.length t.producers) None
+let reset t =
+  Array.fill t.producers 0 (Array.length t.producers) Entry.no_producer
 
 let pending t =
   Array.fold_left
-    (fun acc slot -> match slot with Some _ -> acc + 1 | None -> acc)
+    (fun acc slot -> if slot >= 0 then acc + 1 else acc)
     0 t.producers

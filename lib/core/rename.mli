@@ -9,10 +9,10 @@ type t
 
 val create : registers:int -> t
 
-val producer : t -> int -> int option
+val producer : t -> int -> int
 (** [producer t reg] is the id of the in-flight entry producing [reg],
-    or [None] when the architectural value is current. Register 0 never
-    has a producer. *)
+    or {!Entry.no_producer} when the architectural value is current.
+    Register 0 never has a producer. *)
 
 val define : t -> reg:int -> id:int -> unit
 (** Dispatch of an instruction writing [reg]. *)

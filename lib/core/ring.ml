@@ -1,43 +1,53 @@
+(* Flat storage, sized lazily at the first push (a polymorphic ring has
+   no dummy element to pre-fill with). Popped slots are not cleared —
+   the stale reference is bounded by the ring's capacity and
+   overwritten on reuse; [clear] drops the whole store. *)
 type 'a t = {
-  slots : 'a option array;
+  capacity : int;
+  mutable slots : 'a array;  (* [||] until the first push *)
   mutable head : int;
   mutable length : int;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { slots = Array.make capacity None; head = 0; length = 0 }
+  { capacity; slots = [||]; head = 0; length = 0 }
 
-let capacity t = Array.length t.slots
+let capacity t = t.capacity
 let length t = t.length
-let space t = capacity t - t.length
+let space t = t.capacity - t.length
 let is_empty t = t.length = 0
-let is_full t = t.length = capacity t
+let is_full t = t.length = t.capacity
 
-let index t i = (t.head + i) mod capacity t
+let index t i = (t.head + i) mod t.capacity
 
 let push t value =
   if is_full t then failwith "Ring.push: full";
-  t.slots.(index t t.length) <- Some value;
+  if Array.length t.slots = 0 then t.slots <- Array.make t.capacity value;
+  t.slots.(index t t.length) <- value;
   t.length <- t.length + 1
 
-let peek t = if is_empty t then None else t.slots.(t.head)
+let front t =
+  if is_empty t then invalid_arg "Ring.front: empty";
+  t.slots.(t.head)
 
-let pop t =
-  if is_empty t then None
-  else begin
-    let value = t.slots.(t.head) in
-    t.slots.(t.head) <- None;
-    t.head <- (t.head + 1) mod capacity t;
-    t.length <- t.length - 1;
-    value
-  end
+let drop t =
+  if is_empty t then invalid_arg "Ring.drop: empty";
+  t.head <- (t.head + 1) mod t.capacity;
+  t.length <- t.length - 1
+
+let take t =
+  let value = front t in
+  drop t;
+  value
+
+let peek t = if is_empty t then None else Some t.slots.(t.head)
+
+let pop t = if is_empty t then None else Some (take t)
 
 let get t i =
   if i < 0 || i >= t.length then invalid_arg "Ring.get: out of range";
-  match t.slots.(index t i) with
-  | Some value -> value
-  | None -> assert false
+  t.slots.(index t i)
 
 let iteri f t =
   for i = 0 to t.length - 1 do
@@ -60,7 +70,7 @@ let fold f init t =
 let to_list t = List.rev (fold (fun acc value -> value :: acc) [] t)
 
 let clear t =
-  Array.fill t.slots 0 (capacity t) None;
+  t.slots <- [||];
   t.head <- 0;
   t.length <- 0
 
@@ -70,7 +80,6 @@ let drop_while_back predicate t =
   while !continue_ && t.length > 0 do
     let last = get t (t.length - 1) in
     if predicate last then begin
-      t.slots.(index t (t.length - 1)) <- None;
       t.length <- t.length - 1;
       incr dropped
     end

@@ -21,6 +21,17 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a option
 (** Remove and return the oldest element. *)
 
+val front : 'a t -> 'a
+(** [peek] without the option — allocation-free; raises
+    [Invalid_argument] when empty. Every record funnels through two
+    rings per cycle, so the engine uses these unboxed accessors. *)
+
+val take : 'a t -> 'a
+(** [pop] without the option; raises [Invalid_argument] when empty. *)
+
+val drop : 'a t -> unit
+(** Remove the oldest element; raises [Invalid_argument] when empty. *)
+
 val get : 'a t -> int -> 'a
 (** [get t i] is the element [i] places from the head (0 = oldest).
     Raises [Invalid_argument] when out of range. *)

@@ -14,7 +14,9 @@ let dispatch t record =
   entry
 
 let head t = Ring.peek t.ring
+let first t = Ring.front t.ring
 let pop_head t = Ring.pop t.ring
+let drop_head t = Ring.drop t.ring
 let get t i = Ring.get t.ring i
 let iter f t = Ring.iter f t.ring
 
@@ -30,6 +32,22 @@ let find predicate t =
        t.ring
    with Exit -> ());
   !found
+
+(* Entry ids in the window are consecutive (dispatch allocates them in
+   sequence; a squash drops a suffix), so id -> slot is pure offset
+   arithmetic from the head's id. *)
+let entry_by_id t id =
+  if Ring.is_empty t.ring then None
+  else begin
+    let head : Entry.t = Ring.front t.ring in
+    let index = id - head.id in
+    if index < 0 || index >= Ring.length t.ring then None
+    else begin
+      let entry = Ring.get t.ring index in
+      assert (entry.Entry.id = id);
+      Some entry
+    end
+  end
 
 let squash_younger t ~than_id =
   Ring.drop_while_back (fun (entry : Entry.t) -> entry.id > than_id) t.ring

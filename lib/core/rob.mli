@@ -16,6 +16,14 @@ val head : t -> Entry.t option
 val pop_head : t -> Entry.t option
 (** Commit: remove the oldest entry. *)
 
+val first : t -> Entry.t
+(** [head] without the option — allocation-free (commit re-reads the
+    head every cycle); raises [Invalid_argument] when empty. *)
+
+val drop_head : t -> unit
+(** [pop_head] discarding the entry; raises [Invalid_argument] when
+    empty. *)
+
 val get : t -> int -> Entry.t
 (** [get t i]: the entry [i] places from the head. *)
 
@@ -23,6 +31,11 @@ val iter : (Entry.t -> unit) -> t -> unit
 (** Oldest to youngest. *)
 
 val find : (Entry.t -> bool) -> t -> Entry.t option
+
+val entry_by_id : t -> int -> Entry.t option
+(** O(1) lookup of an in-flight entry by id (ids in the window are
+    consecutive). [None] when the id has committed, was squashed, or has
+    not been dispatched yet. *)
 
 val squash_younger : t -> than_id:int -> int
 (** Remove every entry whose id is greater than [than_id]; returns how

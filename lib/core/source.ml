@@ -71,6 +71,29 @@ let at t index =
         Some state.window.(index - state.base)
       else None
 
+let get t index =
+  match t with
+  | Whole records ->
+      if index < 0 || index >= Array.length records then
+        invalid_arg "Source.get: out of range";
+      records.(index)
+  | Windowed state ->
+      if index < state.base then
+        invalid_arg "Source.get: index already reclaimed";
+      fill_to state index;
+      if index < state.base + state.length then
+        state.window.(index - state.base)
+      else invalid_arg "Source.get: past end of stream"
+
+let has t index =
+  match t with
+  | Whole records -> index >= 0 && index < Array.length records
+  | Windowed state ->
+      if index < state.base then
+        invalid_arg "Source.has: index already reclaimed";
+      fill_to state index;
+      index < state.base + state.length
+
 let release_below t index =
   match t with
   | Whole _ -> ()

@@ -22,6 +22,15 @@ val at : t -> int -> Resim_trace.Record.t option
     [index]. Raises [Invalid_argument] if [index] was already reclaimed
     by {!release_below}. *)
 
+val has : t -> int -> bool
+(** [has source index] is [at source index <> None] without allocating
+    the option — the engine's end-of-trace check runs every cycle. *)
+
+val get : t -> int -> Resim_trace.Record.t
+(** [at] without the option, for the fetch loop (one call per record);
+    raises [Invalid_argument] when the index is reclaimed or past the
+    end — guard with {!has}. *)
+
 val release_below : t -> int -> unit
 (** Allow the source to reclaim storage for records at positions strictly
     below [index]. No-op for array sources. *)

@@ -1,64 +1,70 @@
+(* Counters are plain [int ref]s: incrementing a boxed int64 allocates
+   on every bump, and the engine bumps several counters per simulated
+   instruction. 63 bits of headroom is far beyond any reachable run;
+   the API still reports int64, converted only when read. *)
+type counter = int ref
+
 type t = {
-  major_cycles : int64 ref;
-  fetched : int64 ref;
-  fetched_wrong_path : int64 ref;
-  discarded_wrong_path : int64 ref;
-  dispatched : int64 ref;
-  issued : int64 ref;
-  committed : int64 ref;
-  committed_branches : int64 ref;
-  committed_cond_branches : int64 ref;
-  committed_loads : int64 ref;
-  committed_stores : int64 ref;
-  committed_mult_div : int64 ref;
-  mispredictions : int64 ref;
-  misfetches : int64 ref;
-  forwarded_loads : int64 ref;
-  icache_stall_cycles : int64 ref;
-  fetch_penalty_cycles : int64 ref;
-  rob_full_stalls : int64 ref;
-  lsq_full_stalls : int64 ref;
-  write_port_stalls : int64 ref;
-  read_port_stalls : int64 ref;
+  major_cycles : counter;
+  fetched : counter;
+  fetched_wrong_path : counter;
+  discarded_wrong_path : counter;
+  dispatched : counter;
+  issued : counter;
+  committed : counter;
+  committed_branches : counter;
+  committed_cond_branches : counter;
+  committed_loads : counter;
+  committed_stores : counter;
+  committed_mult_div : counter;
+  mispredictions : counter;
+  misfetches : counter;
+  forwarded_loads : counter;
+  icache_stall_cycles : counter;
+  fetch_penalty_cycles : counter;
+  rob_full_stalls : counter;
+  lsq_full_stalls : counter;
+  write_port_stalls : counter;
+  read_port_stalls : counter;
   commit_width : Histogram.t;
   issue_width : Histogram.t;
-  mutable ifq_occupancy_sum : int64;
-  mutable rob_occupancy_sum : int64;
-  mutable lsq_occupancy_sum : int64;
-  mutable occupancy_samples : int64;
+  mutable ifq_occupancy_sum : int;
+  mutable rob_occupancy_sum : int;
+  mutable lsq_occupancy_sum : int;
+  mutable occupancy_samples : int;
 }
 
 let create () =
-  { major_cycles = ref 0L;
-    fetched = ref 0L;
-    fetched_wrong_path = ref 0L;
-    discarded_wrong_path = ref 0L;
-    dispatched = ref 0L;
-    issued = ref 0L;
-    committed = ref 0L;
-    committed_branches = ref 0L;
-    committed_cond_branches = ref 0L;
-    committed_loads = ref 0L;
-    committed_stores = ref 0L;
-    committed_mult_div = ref 0L;
-    mispredictions = ref 0L;
-    misfetches = ref 0L;
-    forwarded_loads = ref 0L;
-    icache_stall_cycles = ref 0L;
-    fetch_penalty_cycles = ref 0L;
-    rob_full_stalls = ref 0L;
-    lsq_full_stalls = ref 0L;
-    write_port_stalls = ref 0L;
-    read_port_stalls = ref 0L;
+  { major_cycles = ref 0;
+    fetched = ref 0;
+    fetched_wrong_path = ref 0;
+    discarded_wrong_path = ref 0;
+    dispatched = ref 0;
+    issued = ref 0;
+    committed = ref 0;
+    committed_branches = ref 0;
+    committed_cond_branches = ref 0;
+    committed_loads = ref 0;
+    committed_stores = ref 0;
+    committed_mult_div = ref 0;
+    mispredictions = ref 0;
+    misfetches = ref 0;
+    forwarded_loads = ref 0;
+    icache_stall_cycles = ref 0;
+    fetch_penalty_cycles = ref 0;
+    rob_full_stalls = ref 0;
+    lsq_full_stalls = ref 0;
+    write_port_stalls = ref 0;
+    read_port_stalls = ref 0;
     commit_width = Histogram.create ~bins:17;
     issue_width = Histogram.create ~bins:17;
-    ifq_occupancy_sum = 0L;
-    rob_occupancy_sum = 0L;
-    lsq_occupancy_sum = 0L;
-    occupancy_samples = 0L }
+    ifq_occupancy_sum = 0;
+    rob_occupancy_sum = 0;
+    lsq_occupancy_sum = 0;
+    occupancy_samples = 0 }
 
-let incr t field = (field t) := Int64.add !(field t) 1L
-let add t field n = (field t) := Int64.add !(field t) n
+let incr t field = Stdlib.incr (field t)
+let add t field n = (field t) := !(field t) + n
 
 let major_cycles t = t.major_cycles
 let fetched t = t.fetched
@@ -88,60 +94,61 @@ let observe_commit_width t width = Histogram.observe t.commit_width width
 let observe_issue_width t width = Histogram.observe t.issue_width width
 
 let sample_occupancy t ~ifq ~rob ~lsq =
-  t.ifq_occupancy_sum <- Int64.add t.ifq_occupancy_sum (Int64.of_int ifq);
-  t.rob_occupancy_sum <- Int64.add t.rob_occupancy_sum (Int64.of_int rob);
-  t.lsq_occupancy_sum <- Int64.add t.lsq_occupancy_sum (Int64.of_int lsq);
-  t.occupancy_samples <- Int64.add t.occupancy_samples 1L
+  t.ifq_occupancy_sum <- t.ifq_occupancy_sum + ifq;
+  t.rob_occupancy_sum <- t.rob_occupancy_sum + rob;
+  t.lsq_occupancy_sum <- t.lsq_occupancy_sum + lsq;
+  t.occupancy_samples <- t.occupancy_samples + 1
 
 let mean sum t =
-  if Int64.equal t.occupancy_samples 0L then 0.0
-  else Int64.to_float sum /. Int64.to_float t.occupancy_samples
+  if t.occupancy_samples = 0 then 0.0
+  else float_of_int sum /. float_of_int t.occupancy_samples
 
 let mean_ifq_occupancy t = mean t.ifq_occupancy_sum t
 let mean_rob_occupancy t = mean t.rob_occupancy_sum t
 let mean_lsq_occupancy t = mean t.lsq_occupancy_sum t
 
-let ratio num den =
-  if Int64.equal den 0L then 0.0 else Int64.to_float num /. Int64.to_float den
-
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 let ipc t = ratio !(t.committed) !(t.major_cycles)
 let fetched_per_cycle t = ratio !(t.fetched) !(t.major_cycles)
 
-let get field t = !(field t)
+let get_int field t = !(field t)
+let get field t = Int64.of_int !(field t)
 
 let to_assoc t =
-  [ ("major_cycles", !(t.major_cycles));
-    ("fetched", !(t.fetched));
-    ("fetched_wrong_path", !(t.fetched_wrong_path));
-    ("discarded_wrong_path", !(t.discarded_wrong_path));
-    ("dispatched", !(t.dispatched));
-    ("issued", !(t.issued));
-    ("committed", !(t.committed));
-    ("committed_branches", !(t.committed_branches));
-    ("committed_cond_branches", !(t.committed_cond_branches));
-    ("committed_loads", !(t.committed_loads));
-    ("committed_stores", !(t.committed_stores));
-    ("committed_mult_div", !(t.committed_mult_div));
-    ("mispredictions", !(t.mispredictions));
-    ("misfetches", !(t.misfetches));
-    ("forwarded_loads", !(t.forwarded_loads));
-    ("icache_stall_cycles", !(t.icache_stall_cycles));
-    ("fetch_penalty_cycles", !(t.fetch_penalty_cycles));
-    ("rob_full_stalls", !(t.rob_full_stalls));
-    ("lsq_full_stalls", !(t.lsq_full_stalls));
-    ("write_port_stalls", !(t.write_port_stalls));
-    ("read_port_stalls", !(t.read_port_stalls)) ]
+  List.map
+    (fun (name, value) -> (name, Int64.of_int value))
+    [ ("major_cycles", !(t.major_cycles));
+      ("fetched", !(t.fetched));
+      ("fetched_wrong_path", !(t.fetched_wrong_path));
+      ("discarded_wrong_path", !(t.discarded_wrong_path));
+      ("dispatched", !(t.dispatched));
+      ("issued", !(t.issued));
+      ("committed", !(t.committed));
+      ("committed_branches", !(t.committed_branches));
+      ("committed_cond_branches", !(t.committed_cond_branches));
+      ("committed_loads", !(t.committed_loads));
+      ("committed_stores", !(t.committed_stores));
+      ("committed_mult_div", !(t.committed_mult_div));
+      ("mispredictions", !(t.mispredictions));
+      ("misfetches", !(t.misfetches));
+      ("forwarded_loads", !(t.forwarded_loads));
+      ("icache_stall_cycles", !(t.icache_stall_cycles));
+      ("fetch_penalty_cycles", !(t.fetch_penalty_cycles));
+      ("rob_full_stalls", !(t.rob_full_stalls));
+      ("lsq_full_stalls", !(t.lsq_full_stalls));
+      ("write_port_stalls", !(t.write_port_stalls));
+      ("read_port_stalls", !(t.read_port_stalls)) ]
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>major cycles: %Ld@,\
-     fetched: %Ld (%Ld wrong-path, %Ld discarded)@,\
-     dispatched: %Ld, issued: %Ld, committed: %Ld (IPC %.3f)@,\
-     branches: %Ld committed (%Ld conditional), %Ld squashes, %Ld misfetches@,\
-     memory: %Ld loads (%Ld forwarded), %Ld stores@,\
-     long ops: %Ld mult/div@,\
-     stalls: %Ld rob-full, %Ld lsq-full, %Ld rd-port, %Ld wr-port@,\
-     fetch: %Ld icache-stall cycles, %Ld penalty cycles@,\
+    "@[<v>major cycles: %d@,\
+     fetched: %d (%d wrong-path, %d discarded)@,\
+     dispatched: %d, issued: %d, committed: %d (IPC %.3f)@,\
+     branches: %d committed (%d conditional), %d squashes, %d misfetches@,\
+     memory: %d loads (%d forwarded), %d stores@,\
+     long ops: %d mult/div@,\
+     stalls: %d rob-full, %d lsq-full, %d rd-port, %d wr-port@,\
+     fetch: %d icache-stall cycles, %d penalty cycles@,\
      occupancy: IFQ %.2f, ROB %.2f, LSQ %.2f@,\
      commit width: %a@,\
      issue width: %a@]"

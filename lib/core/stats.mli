@@ -2,44 +2,49 @@
 
     Mirrors §V.B: ReSim collects sim-outorder-like statistics in 64-bit
     registers — instruction/branch/memory counts, cache behaviour, queue
-    occupancies and detailed branch information. *)
+    occupancies and detailed branch information. Counters are stored
+    unboxed (host [int], 63-bit) so the engine's per-instruction bumps
+    never allocate; values are widened to [int64] on read. *)
 
 type t
+
+type counter
+(** One statistics register; read it with {!get} or {!get_int}. *)
 
 val create : unit -> t
 
 (** {1 Counters} *)
 
-val incr : t -> (t -> int64 ref) -> unit
-val add : t -> (t -> int64 ref) -> int64 -> unit
+val incr : t -> (t -> counter) -> unit
+val add : t -> (t -> counter) -> int -> unit
 
-val major_cycles : t -> int64 ref
-val fetched : t -> int64 ref
+val major_cycles : t -> counter
+val fetched : t -> counter
 (** All records entering the IFQ, wrong path included. *)
 
-val fetched_wrong_path : t -> int64 ref
-val discarded_wrong_path : t -> int64 ref
+val fetched_wrong_path : t -> counter
+val discarded_wrong_path : t -> counter
 (** Tagged records skipped at branch resolution without being fetched. *)
 
-val dispatched : t -> int64 ref
-val issued : t -> int64 ref
-val committed : t -> int64 ref
-val committed_branches : t -> int64 ref
-val committed_cond_branches : t -> int64 ref
-val committed_loads : t -> int64 ref
-val committed_stores : t -> int64 ref
-val committed_mult_div : t -> int64 ref
-val mispredictions : t -> int64 ref
+val dispatched : t -> counter
+val issued : t -> counter
+val committed : t -> counter
+val committed_branches : t -> counter
+val committed_cond_branches : t -> counter
+val committed_loads : t -> counter
+val committed_stores : t -> counter
+val committed_mult_div : t -> counter
+val mispredictions : t -> counter
 (** Squashes at commit (direction mispredictions in the trace). *)
 
-val misfetches : t -> int64 ref
-val forwarded_loads : t -> int64 ref
-val icache_stall_cycles : t -> int64 ref
-val fetch_penalty_cycles : t -> int64 ref
-val rob_full_stalls : t -> int64 ref
-val lsq_full_stalls : t -> int64 ref
-val write_port_stalls : t -> int64 ref
-val read_port_stalls : t -> int64 ref
+val misfetches : t -> counter
+val forwarded_loads : t -> counter
+val icache_stall_cycles : t -> counter
+val fetch_penalty_cycles : t -> counter
+val rob_full_stalls : t -> counter
+val lsq_full_stalls : t -> counter
+val write_port_stalls : t -> counter
+val read_port_stalls : t -> counter
 
 (** {1 Per-cycle width distributions} *)
 
@@ -68,7 +73,11 @@ val fetched_per_cycle : t -> float
 (** All fetched records (wrong path included) per major cycle — the
     Table 3 throughput basis. *)
 
-val get : (t -> int64 ref) -> t -> int64
+val get : (t -> counter) -> t -> int64
+
+val get_int : (t -> counter) -> t -> int
+(** [get] without the int64 widening — allocation-free, for hot
+    read-back paths (e.g. the engine's progress watchdog). *)
 
 val to_assoc : t -> (string * int64) list
 (** Every counter as a (name, value) pair, for CSV/JSON export and for

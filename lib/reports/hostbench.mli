@@ -1,0 +1,55 @@
+(** Host-throughput measurement of the timing engine, tracked across
+    PRs as machine-readable JSON ([BENCH_engine.json]).
+
+    Each measurement runs the engine on a pre-generated kernel trace and
+    reports host MIPS (simulated correct-path instructions per host
+    microsecond... reported as millions per second) for one
+    (kernel, configuration, scheduler) point, so the Scan-oracle versus
+    Event-scheduler speedup is recorded per configuration. *)
+
+type measurement = {
+  kernel : string;
+  scale : int option;          (** [None] = the kernel's default scale *)
+  config_name : string;        (** "reference" | "fast-comparable" *)
+  scheduler : string;          (** {!Resim_core.Config.scheduler_name} *)
+  instructions : int;          (** correct-path instructions per run *)
+  record_count : int;          (** trace records (incl. wrong path) *)
+  cycles : int64;              (** simulated major cycles *)
+  runs : int;                  (** timed repetitions (best is kept) *)
+  ns_per_run : float;
+  host_mips : float;
+}
+
+val measure : ?quick:bool -> unit -> measurement list
+(** Run the measurement grid. [quick] (default [false]) shrinks it to a
+    single small kernel for smoke tests; the full grid covers several
+    kernels, both paper configurations and both schedulers. *)
+
+val pp_table : Format.formatter -> measurement list -> unit
+(** Human-readable table, with a per-(kernel, config) Event/Scan
+    speedup column. *)
+
+val speedup : measurement list -> kernel:string -> config_name:string -> float option
+(** Event-over-Scan host-MIPS ratio for one grid point, when both
+    measurements are present. The in-binary Scan oracle shares the
+    representation optimizations introduced with the event engine, so
+    this ratio understates the engine-core trajectory; see
+    {!speedup_vs_seed}. *)
+
+val seed_baseline : (string * string * float) list
+(** [(kernel, config, host_mips)] anchors measured at the
+    pre-event-engine seed commit (scan-only engine) with the same
+    protocol and host class. *)
+
+val speedup_vs_seed :
+  measurement list -> kernel:string -> config_name:string -> float option
+(** Event host-MIPS over the {!seed_baseline} anchor for one grid
+    point — the end-to-end engine-core speedup this optimization work
+    delivered. *)
+
+val to_json : measurement list -> string
+(** The full JSON document (pretty-printed, schema documented in
+    README). *)
+
+val write_json : path:string -> measurement list -> unit
+(** [to_json] to a file. *)

@@ -1,0 +1,366 @@
+(* Tests for the event-driven scheduler: Event_queue ordering and
+   stability, and the differential guarantee that the Event scheduler is
+   cycle- and stats-identical to the Scan reference oracle on every
+   workload kernel and on random synthetic traces across organizations,
+   widths and memory systems. *)
+
+open Resim_core
+module Record = Resim_trace.Record
+module Synthetic = Resim_tracegen.Synthetic
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let i64 = Alcotest.int64
+
+(* ------------------------------------------------------------------- *)
+(* Event_queue                                                          *)
+
+let drain queue =
+  let rec loop acc =
+    match Event_queue.pop queue with
+    | Some value -> loop (value :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let test_queue_ordering () =
+  let queue = Event_queue.create () in
+  List.iter
+    (fun (at, id) -> Event_queue.push queue ~at ~id (at, id))
+    [ (5, 3); (1, 9); (5, 1); (0, 7); (3, 2) ];
+  check int "length" 5 (Event_queue.length queue);
+  check bool "min key" true (Event_queue.min_key queue = Some (0, 7));
+  check bool "pops in (at, id) order" true
+    (drain queue = [ (0, 7); (1, 9); (3, 2); (5, 1); (5, 3) ]);
+  check bool "empty after drain" true (Event_queue.is_empty queue)
+
+let test_queue_duplicate_keys_are_fifo () =
+  (* Identical (at, id) keys must pop in insertion order. *)
+  let queue = Event_queue.create () in
+  List.iter
+    (fun payload -> Event_queue.push queue ~at:7 ~id:4 payload)
+    [ "first"; "second"; "third"; "fourth" ];
+  Event_queue.push queue ~at:7 ~id:3 "older-id";
+  Event_queue.push queue ~at:2 ~id:9 "earlier-cycle";
+  check bool "stable under duplicates" true
+    (drain queue
+    = [ "earlier-cycle"; "older-id"; "first"; "second"; "third"; "fourth" ])
+
+let test_queue_pop_due () =
+  let queue = Event_queue.create () in
+  List.iter
+    (fun (at, id) -> Event_queue.push queue ~at ~id id)
+    [ (4, 0); (2, 1); (9, 2) ];
+  check bool "nothing due at 1" true (Event_queue.pop_due queue ~now:1 = None);
+  check bool "due at 2" true (Event_queue.pop_due queue ~now:2 = Some 1);
+  check bool "4 not due at 3" true (Event_queue.pop_due queue ~now:3 = None);
+  check bool "due at 5" true (Event_queue.pop_due queue ~now:5 = Some 0);
+  check bool "9 pending" true (Event_queue.min_key queue = Some (9, 2));
+  check bool "due at 9" true (Event_queue.pop_due queue ~now:9 = Some 2);
+  check bool "drained" true (Event_queue.pop_due queue ~now:100 = None)
+
+let test_queue_clear_and_reuse () =
+  let queue = Event_queue.create () in
+  for id = 0 to 40 do
+    Event_queue.push queue ~at:(id mod 5) ~id ()
+  done;
+  check int "filled" 41 (Event_queue.length queue);
+  Event_queue.clear queue;
+  check bool "cleared" true (Event_queue.is_empty queue);
+  Event_queue.push queue ~at:1 ~id:1 ();
+  check int "usable after clear" 1 (Event_queue.length queue)
+
+let queue_matches_sorted_model =
+  (* Pushing arbitrary keys and draining must yield the stable sort of
+     the inputs by (at, id, insertion index). *)
+  QCheck.Test.make ~name:"event queue drains as a stable sort" ~count:200
+    QCheck.(list (pair (int_bound 50) (int_bound 20)))
+    (fun keys ->
+      let queue = Event_queue.create () in
+      List.iteri
+        (fun index (at, id) ->
+          Event_queue.push queue ~at ~id (at, id, index))
+        keys;
+      let expected =
+        List.stable_sort
+          (fun (a1, i1, s1) (a2, i2, s2) ->
+            compare (a1, i1, s1) (a2, i2, s2))
+          (List.mapi (fun index (at, id) -> (at, id, index)) keys)
+      in
+      drain queue = expected)
+
+(* ------------------------------------------------------------------- *)
+(* Differential harness: Scan vs Event.                                 *)
+
+let with_scheduler scheduler (config : Config.t) = { config with scheduler }
+
+let stats_dump stats = Format.asprintf "%a" Stats.pp stats
+
+let assert_schedulers_agree ~name config records =
+  let scan =
+    Engine.simulate ~config:(with_scheduler Config.Scan config) records
+  in
+  let event =
+    Engine.simulate ~config:(with_scheduler Config.Event config) records
+  in
+  check i64
+    (name ^ ": major cycles")
+    (Stats.get Stats.major_cycles scan)
+    (Stats.get Stats.major_cycles event);
+  check Alcotest.string (name ^ ": full stats dump") (stats_dump scan)
+    (stats_dump event)
+
+let schedulers_agree config records =
+  let scan =
+    Engine.simulate ~config:(with_scheduler Config.Scan config) records
+  in
+  let event =
+    Engine.simulate ~config:(with_scheduler Config.Event config) records
+  in
+  Int64.equal
+    (Stats.get Stats.major_cycles scan)
+    (Stats.get Stats.major_cycles event)
+  && String.equal (stats_dump scan) (stats_dump event)
+
+(* ------------------------------------------------------------------- *)
+(* Differential: every workload kernel (plus a synthetic eighth), both
+   paper configurations.                                                *)
+
+let kernel_records =
+  (* Generated lazily once; reused by both scheduler runs and both
+     configurations. *)
+  lazy
+    (let kernels =
+       Resim_workloads.Workload.all @ Resim_workloads.Workload.extended
+     in
+     let from_kernels =
+       List.map
+         (fun kernel ->
+           let name = Resim_workloads.Workload.name_of kernel in
+           let program = Resim_workloads.Workload.program_of kernel () in
+           (name, Resim_tracegen.Generator.records program))
+         kernels
+     in
+     let synthetic =
+       ( "synthetic",
+         Synthetic.generate ~seed:7
+           (Synthetic.balanced ~name:"eighth" ~instructions:4000) )
+     in
+     from_kernels @ [ synthetic ])
+
+let test_kernels_reference () =
+  List.iter
+    (fun (name, records) ->
+      assert_schedulers_agree ~name Config.reference records)
+    (Lazy.force kernel_records)
+
+let test_kernels_fast_comparable () =
+  List.iter
+    (fun (name, records) ->
+      assert_schedulers_agree ~name Config.fast_comparable records)
+    (Lazy.force kernel_records)
+
+(* ------------------------------------------------------------------- *)
+(* Differential: handcrafted corner cases.                              *)
+
+let alu ?(wrong = false) ~pc ~dest ~src1 ~src2 () =
+  { Record.pc; wrong_path = wrong; dest; src1; src2;
+    payload = Record.Other { op_class = Record.Alu } }
+
+let divide ~pc ~dest ~src1 () =
+  { Record.pc; wrong_path = false; dest; src1; src2 = 0;
+    payload = Record.Other { op_class = Record.Divide } }
+
+let load ?(wrong = false) ~pc ~dest ~base ~addr () =
+  { Record.pc; wrong_path = wrong; dest; src1 = base; src2 = 0;
+    payload = Record.Memory { is_load = true; address = addr } }
+
+let store ?(wrong = false) ~pc ~base ~data ~addr () =
+  { Record.pc; wrong_path = wrong; dest = 0; src1 = base; src2 = data;
+    payload = Record.Memory { is_load = false; address = addr } }
+
+let branch ?(wrong = false) ~pc ~taken ~target () =
+  { Record.pc; wrong_path = wrong; dest = 0; src1 = 1; src2 = 2;
+    payload = Record.Branch { kind = Resim_isa.Opcode.Cond; taken; target } }
+
+let test_corner_cases () =
+  (* Forwarding store retires before the starved load issues: the load
+     must fall back to a D-cache port in both schedulers. Width 1 keeps
+     the load queued behind older ALU work. *)
+  let narrow =
+    { Config.reference with
+      width = 1;
+      ifq_entries = 1;
+      decouple_entries = 1;
+      alu_count = 1;
+      mem_read_ports = 1;
+      mem_write_ports = 1;
+      organization = Config.Improved }
+  in
+  let forward_then_retire =
+    Array.concat
+      [ [| store ~pc:0 ~base:29 ~data:30 ~addr:64 () |];
+        Array.init 6 (fun i -> alu ~pc:(1 + i) ~dest:3 ~src1:29 ~src2:0 ());
+        [| load ~pc:7 ~dest:4 ~base:29 ~addr:64 () |] ]
+  in
+  assert_schedulers_agree ~name:"forward-then-retire" narrow
+    forward_then_retire;
+  (* Broadcast bandwidth: a divider, a chain and independent ALUs all
+     complete around the same cycles; more results can be due than the
+     width-2 broadcast bus takes, forcing carry-over. *)
+  let broadcast_pressure =
+    Array.concat
+      [ [| divide ~pc:0 ~dest:1 ~src1:29 () |];
+        Array.init 20 (fun i ->
+            alu ~pc:(1 + i) ~dest:(2 + (i mod 6)) ~src1:29 ~src2:0 ());
+        [| alu ~pc:21 ~dest:8 ~src1:1 ~src2:0 () |] ]
+  in
+  let two_wide =
+    { narrow with width = 2; ifq_entries = 2; decouple_entries = 2;
+      alu_count = 2 }
+  in
+  assert_schedulers_agree ~name:"broadcast-pressure" two_wide
+    broadcast_pressure;
+  (* Squash with in-flight long-latency work and a pending store: heap
+     and pool entries for the squashed suffix must be discarded. *)
+  let squash_with_inflight =
+    Array.concat
+      [ [| alu ~pc:0 ~dest:1 ~src1:29 ~src2:0 ();
+           branch ~pc:1 ~taken:false ~target:40 () |];
+        Array.init 8 (fun i ->
+            if i = 0 then divide ~pc:(40 + i) ~dest:5 ~src1:29 ()
+            else if i = 1 then store ~wrong:true ~pc:(40 + i) ~base:29
+                   ~data:30 ~addr:128 ()
+            else alu ~wrong:true ~pc:(40 + i) ~dest:(6 + (i mod 4))
+                   ~src1:29 ~src2:0 ());
+        [| alu ~pc:2 ~dest:2 ~src1:1 ~src2:0 ();
+           load ~pc:3 ~dest:3 ~base:29 ~addr:128 () |] ]
+  in
+  (* The divider record above is on the wrong path only if tagged; tag
+     it explicitly. *)
+  squash_with_inflight.(2) <-
+    { (squash_with_inflight.(2)) with Record.wrong_path = true };
+  assert_schedulers_agree ~name:"squash-inflight" Config.reference
+    squash_with_inflight
+
+(* ------------------------------------------------------------------- *)
+(* Differential: random synthetic traces x organizations x widths.      *)
+
+let differential_configs =
+  (* Valid structural spread: every organization, widths 1-8, small
+     windows (stress squash/full/port paths), and one cached memory
+     system (stress latency variability). *)
+  [| { Config.reference with
+       organization = Config.Simple;
+       width = 2;
+       ifq_entries = 2;
+       decouple_entries = 2;
+       alu_count = 2;
+       rob_entries = 8;
+       lsq_entries = 4;
+       mem_read_ports = 1;
+       mem_write_ports = 1 };
+     { Config.reference with
+       organization = Config.Improved;
+       width = 1;
+       ifq_entries = 1;
+       decouple_entries = 1;
+       alu_count = 1;
+       rob_entries = 4;
+       lsq_entries = 2;
+       mem_read_ports = 1;
+       mem_write_ports = 1 };
+     { Config.reference with
+       organization = Config.Improved;
+       width = 4;
+       rob_entries = 32;
+       lsq_entries = 16;
+       mult_count = 2;
+       icache = Resim_cache.Cache.l1_32k_8way_64b;
+       dcache = Resim_cache.Cache.l1_32k_8way_64b };
+     Config.reference;
+     { Config.reference with
+       organization = Config.Optimized;
+       width = 8;
+       ifq_entries = 8;
+       decouple_entries = 8;
+       alu_count = 8;
+       rob_entries = 64;
+       lsq_entries = 32;
+       mem_read_ports = 4;
+       mem_write_ports = 2 }
+  |]
+
+let synthetic_profile ~instructions ~loads ~stores ~branches ~divides
+    ~dependency_density ~mispredict_rate ~working_set =
+  { (Synthetic.balanced ~name:"diff" ~instructions) with
+    loads;
+    stores;
+    branches;
+    divides;
+    mults = divides *. 4.0;
+    dependency_density;
+    mispredict_rate;
+    working_set_bytes = working_set;
+    sequential_locality = 0.5 }
+
+let scan_vs_event_differential =
+  (* The acceptance bar: >= 100 random traces, every organization and a
+     width spread, equal cycles and equal full stats dumps. *)
+  QCheck.Test.make ~name:"Scan and Event schedulers are cycle-exact equal"
+    ~count:120
+    QCheck.(
+      pair (int_bound 100_000)
+        (pair (int_bound (Array.length differential_configs - 1))
+           (pair (int_range 150 500) (int_bound 1000))))
+    (fun (seed, (config_index, (instructions, knob))) ->
+      let frac limit salt =
+        float_of_int ((knob * salt) mod 1000) /. 1000.0 *. limit
+      in
+      let profile =
+        synthetic_profile ~instructions ~loads:(0.05 +. frac 0.3 7)
+          ~stores:(0.05 +. frac 0.2 13)
+          ~branches:(0.05 +. frac 0.2 29)
+          ~divides:(frac 0.01 3)
+          ~dependency_density:(frac 0.9 17)
+          ~mispredict_rate:(frac 0.25 11)
+          ~working_set:(64 * (1 + (knob mod 64)))
+      in
+      let records = Synthetic.generate ~seed profile in
+      schedulers_agree differential_configs.(config_index) records)
+
+let scan_vs_event_store_heavy =
+  (* Tiny working sets force dense store-to-load aliasing: the
+     incremental LSQ reclassification is the code under stress. *)
+  QCheck.Test.make
+    ~name:"schedulers agree under dense store-load aliasing" ~count:40
+    QCheck.(pair (int_bound 100_000) (int_range 0 4))
+    (fun (seed, config_index) ->
+      let profile =
+        synthetic_profile ~instructions:300 ~loads:0.35 ~stores:0.3
+          ~branches:0.08 ~divides:0.004 ~dependency_density:0.6
+          ~mispredict_rate:0.1 ~working_set:64
+      in
+      let records = Synthetic.generate ~seed profile in
+      schedulers_agree differential_configs.(config_index) records)
+
+(* ------------------------------------------------------------------- *)
+
+let suite =
+  [ ("event:queue",
+     [ Alcotest.test_case "ordering" `Quick test_queue_ordering;
+       Alcotest.test_case "duplicate keys are FIFO" `Quick
+         test_queue_duplicate_keys_are_fifo;
+       Alcotest.test_case "pop_due" `Quick test_queue_pop_due;
+       Alcotest.test_case "clear and reuse" `Quick
+         test_queue_clear_and_reuse;
+       QCheck_alcotest.to_alcotest queue_matches_sorted_model ]);
+    ("event:differential",
+     [ Alcotest.test_case "kernels, reference config" `Slow
+         test_kernels_reference;
+       Alcotest.test_case "kernels, fast-comparable config" `Slow
+         test_kernels_fast_comparable;
+       Alcotest.test_case "corner cases" `Quick test_corner_cases;
+       QCheck_alcotest.to_alcotest scan_vs_event_differential;
+       QCheck_alcotest.to_alcotest scan_vs_event_store_heavy ]) ]

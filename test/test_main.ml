@@ -9,6 +9,7 @@ let () =
          Test_trace.suite;
          Test_fpga.suite;
          Test_core.suite;
+         Test_event.suite;
          Test_tracegen.suite;
          Test_baseline.suite;
          Test_workloads.suite;
