@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check bench
+.PHONY: all build test check lint bench
 
 all: build
 
@@ -10,11 +10,17 @@ build:
 test:
 	dune runtest
 
-# The PR gate: formatting, full build, test suite, and a bench smoke
-# that exercises the --json path end to end.
+# resim-check layer 3: the hot-path source lint over lib/core
+# (bin/resim_lint.ml; rules RSM-L001..L004, catalog in DESIGN.md §9).
+lint:
+	dune build @lint
+
+# The PR gate: formatting, full build, source lint, test suite, and a
+# bench smoke that exercises the --json path end to end.
 check:
 	dune build @fmt
 	dune build
+	dune build @lint
 	dune runtest
 	dune exec bench/main.exe -- --quick --json /dev/null
 

@@ -8,9 +8,23 @@
      table      regenerate one of the paper's tables
      sweep      run the ablation grid as a domain-parallel sweep
      bench      measure engine host throughput (scan vs event scheduler)
+     lint       statically lint encoded trace files (resim-check)
      workloads  list the built-in kernels *)
 
 open Cmdliner
+module Check = Resim_check.Check
+
+(* Every subcommand that builds a configuration validates it here
+   first: warnings print and the run proceeds; errors print with their
+   diagnostic codes and failing fields, and the command exits 2 before
+   any simulation starts. *)
+let ensure_valid_config ~context config =
+  let diagnostics = Check.Config.validate config in
+  if diagnostics <> [] then
+    Format.eprintf "%s: configuration is %s@.%a@." context
+      (Check.Diagnostic.summary diagnostics)
+      Check.Diagnostic.pp_list diagnostics;
+  if Check.Diagnostic.has_errors diagnostics then exit 2
 
 let kernel_conv =
   let parse name =
@@ -136,6 +150,7 @@ let simulate workload scale source_file trace_file perfect_bp caches =
         dcache = Resim_cache.Cache.l1_32k_8way_64b }
     else base
   in
+  ensure_valid_config ~context:"simulate" config;
   let outcome = Resim_core.Resim.simulate_trace ~config records in
   Format.printf "%a@.@." Resim_core.Resim.pp_outcome outcome;
   List.iter
@@ -280,6 +295,7 @@ let vhdl width rob lsq output_dir =
         (if width >= 3 then Resim_core.Config.Optimized
          else Resim_core.Config.Improved) }
   in
+  ensure_valid_config ~context:"vhdl" config;
   let paths = Resim_vhdlgen.Core_gen.write_all ~dir:output_dir config in
   List.iter (fun path -> Format.printf "wrote %s@." path) paths
 
@@ -344,6 +360,10 @@ let sweep jobs quick =
            grid)
     else grid
   in
+  List.iter
+    (fun (job : Resim_sweep.Sweep.job) ->
+      ensure_valid_config ~context:("sweep job " ^ job.label) job.config)
+    grid;
   Format.printf
     "sweeping %d job(s) across %d worker domain(s) (host recommends %d)@."
     (List.length grid) jobs
@@ -381,6 +401,11 @@ let sweep_cmd =
 (* --- bench ----------------------------------------------------------- *)
 
 let bench json quick =
+  (* The bench grid runs exactly these two configurations. *)
+  ensure_valid_config ~context:"bench reference"
+    Resim_core.Config.reference;
+  ensure_valid_config ~context:"bench fast-comparable"
+    Resim_core.Config.fast_comparable;
   let measurements = Resim_reports.Hostbench.measure ~quick () in
   Format.printf "%a@." Resim_reports.Hostbench.pp_table measurements;
   match json with
@@ -411,6 +436,51 @@ let bench_cmd =
              scheduler)")
     Term.(const bench $ json $ quick)
 
+(* --- lint ------------------------------------------------------------ *)
+
+let lint trace_files max_run =
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      let report =
+        Check.Trace.lint_file ?max_wrong_path_run:max_run path
+      in
+      let diagnostics = report.Check.Trace.diagnostics in
+      Format.printf "%s: %s (%d record(s), %d wrong-path in %d block(s)%s)@."
+        path
+        (Check.Diagnostic.summary diagnostics)
+        report.records_checked report.wrong_path_records
+        report.wrong_path_blocks
+        (match report.format with
+         | Some Resim_trace.Codec.Fixed -> ", fixed encoding"
+         | Some Resim_trace.Codec.Compact -> ", compact encoding"
+         | None -> "");
+      if diagnostics <> [] then
+        Format.printf "%a@." Check.Diagnostic.pp_list diagnostics;
+      if Check.Diagnostic.has_errors diagnostics then failed := true)
+    trace_files;
+  if !failed then exit 1
+
+let lint_cmd =
+  let traces =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"TRACE" ~doc:"Encoded trace file(s) to lint.")
+  in
+  let max_run =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-wrong-path-run" ] ~docv:"N"
+          ~doc:"Longest legal wrong-path run before RSM-T007 fires \
+                (default 4096).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically lint encoded trace files (resim-check layer 2); \
+             exits 1 when any trace has errors")
+    Term.(const lint $ traces $ max_run)
+
 (* --- workloads ------------------------------------------------------- *)
 
 let workloads () =
@@ -436,5 +506,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tracegen_cmd; simulate_cmd; area_cmd; schedule_cmd; table_cmd;
-            sweep_cmd; bench_cmd; disasm_cmd; vhdl_cmd; ptrace_cmd;
-            workloads_cmd ]))
+            sweep_cmd; bench_cmd; lint_cmd; disasm_cmd; vhdl_cmd;
+            ptrace_cmd; workloads_cmd ]))

@@ -1,0 +1,297 @@
+(* resim-lint: the hot-path source lint of resim-check (layer 3).
+
+   A small, untyped Parsetree pass over the per-cycle simulator sources
+   built on compiler-libs' [Ast_iterator]. It enforces the coding rules
+   that keep the engine's inner loops allocation-free and clear of the
+   polymorphic-comparison runtime:
+
+     RSM-L001  Obj.magic / Obj.repr / Obj.obj anywhere.
+     RSM-L002  polymorphic [=] / [<>] with a constructor operand, or a
+               bare [compare] / [min] / [max] — these call caml_equal /
+               caml_compare on variants instead of a tag compare.
+               Hot files only.
+     RSM-L003  direct stdout/stderr output (print_*, prerr_*,
+               Printf.printf, Format.eprintf, output_string, ...) —
+               simulator libraries report through formatters or
+               structured results, never by printing.
+     RSM-L004  allocation-heavy combinators (List.rev/map/..., [@],
+               Array.of_list, Printf.sprintf, Format.asprintf, ...) in
+               hot files — per-cycle work uses preallocated scratch
+               buffers.
+
+   Two escape hatches keep the rules honest rather than absolute:
+
+   - Cold contexts are exempt from L002/L004: arguments of
+     raise/failwith/invalid_arg, assert bodies, and branches guarded by
+     the observer hook ([if observed t then ...] or a match on an
+     [.observer] field) — those run off the per-cycle path.
+   - A comment containing "resim-lint: allow" on the same or the
+     preceding line suppresses any finding.
+
+   Usage: resim_lint [--hot] file.ml ... [--cold] file.ml ...
+   Files after --hot get all four rules; files after --cold (the
+   default) only L001/L003. Exits 1 when findings remain. *)
+
+type finding = { file : string; line : int; code : string; message : string }
+
+let findings : finding list ref = ref []
+
+(* --- suppression markers ----------------------------------------- *)
+
+let allow_marker = "resim-lint: allow"
+
+let contains_marker line =
+  let n = String.length line and m = String.length allow_marker in
+  let rec scan i =
+    i + m <= n && (String.sub line i m = allow_marker || scan (i + 1))
+  in
+  scan 0
+
+let marker_lines text =
+  let table = Hashtbl.create 8 in
+  let line = ref 1 in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        if contains_marker (String.sub text !start (i - !start)) then
+          Hashtbl.replace table !line ();
+        incr line;
+        start := i + 1
+      end)
+    text;
+  if !start < String.length text
+     && contains_marker
+          (String.sub text !start (String.length text - !start))
+  then Hashtbl.replace table !line ();
+  table
+
+(* --- longident classification ------------------------------------ *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (prefix, s) -> flatten prefix @ [ s ]
+  | Longident.Lapply (a, _) -> flatten a
+
+let dotted lid = String.concat "." (flatten lid)
+
+let is_obj_escape lid =
+  match flatten lid with
+  | [ "Obj"; ("magic" | "repr" | "obj") ] -> true
+  | _ -> false
+
+let is_console_output lid =
+  match flatten lid with
+  | [ ( "print_string" | "print_char" | "print_int" | "print_float"
+      | "print_endline" | "print_newline" | "prerr_string" | "prerr_char"
+      | "prerr_int" | "prerr_float" | "prerr_endline" | "prerr_newline"
+      | "output_string" ) ] ->
+      true
+  | [ ("Printf" | "Format"); ("printf" | "eprintf") ] -> true
+  | _ -> false
+
+let is_polymorphic_builtin lid =
+  match flatten lid with
+  | [ ("compare" | "min" | "max") ]
+  | [ "Stdlib"; ("compare" | "min" | "max") ] ->
+      true
+  | _ -> false
+
+let is_allocating_call lid =
+  match flatten lid with
+  | [ "@" ] -> true
+  | [ "List";
+      ( "rev" | "map" | "mapi" | "rev_map" | "filter" | "filteri"
+      | "filter_map" | "append" | "concat" | "concat_map" | "flatten"
+      | "sort" | "stable_sort" | "fast_sort" | "sort_uniq" | "init"
+      | "of_seq" | "split" | "combine" ) ] ->
+      true
+  | [ "Array"; ("of_list" | "to_list" | "append" | "concat") ] -> true
+  | [ "String"; ("concat" | "split_on_char") ] -> true
+  | [ "Printf"; "sprintf" ] | [ "Format"; ("sprintf" | "asprintf") ] -> true
+  | _ -> false
+
+(* Comparing against a nullary structural constant ([= None], [= []],
+   [= true]) is cheap and idiomatic; comparing variant constructors with
+   payload-bearing types is what drags in caml_equal. We flag any
+   constructor operand other than the unit/bool/list builtins. *)
+let is_flagged_constructor (expr : Parsetree.expression) =
+  match expr.pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) -> (
+      match flatten txt with
+      | [ ("()" | "true" | "false" | "[]" | "::") ] -> false
+      | _ -> true)
+  | Pexp_variant _ -> true
+  | _ -> false
+
+(* --- the pass ----------------------------------------------------- *)
+
+type ctx = {
+  file : string;
+  hot : bool;
+  allowed : (int, unit) Hashtbl.t;
+  mutable cold_depth : int;
+      (* > 0 inside raise/assert/observer contexts *)
+}
+
+let line_of (expr : Parsetree.expression) =
+  expr.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+let report ctx ~line ~code message =
+  if
+    not
+      (Hashtbl.mem ctx.allowed line
+      || (line > 1 && Hashtbl.mem ctx.allowed (line - 1)))
+  then findings := { file = ctx.file; line; code; message } :: !findings
+
+let in_cold ctx body =
+  ctx.cold_depth <- ctx.cold_depth + 1;
+  Fun.protect ~finally:(fun () -> ctx.cold_depth <- ctx.cold_depth - 1) body
+
+(* Does [expr] consult the observer hook? Recognizes the [observed t]
+   predicate and direct [.observer] field reads. *)
+let mentions_observer expr =
+  let found = ref false in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident "observed"; _ } ->
+              found := true
+          | Pexp_field (_, { txt; _ }) -> (
+              match List.rev (flatten txt) with
+              | "observer" :: _ -> found := true
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iterator.expr iterator expr;
+  !found
+
+let is_abort_fn (fn : Parsetree.expression) =
+  match fn.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident name; _ } -> (
+      match name with
+      | "raise" | "raise_notrace" | "failwith" | "invalid_arg" -> true
+      | _ -> false)
+  | _ -> false
+
+let check_node ctx (expr : Parsetree.expression) =
+  let hot_live = ctx.hot && ctx.cold_depth = 0 in
+  match expr.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      let line = line_of expr in
+      if is_obj_escape txt then
+        report ctx ~line ~code:"RSM-L001"
+          (Printf.sprintf "unsafe cast `%s` defeats the type system"
+             (dotted txt))
+      else if is_console_output txt then
+        report ctx ~line ~code:"RSM-L003"
+          (Printf.sprintf
+             "`%s` writes to the console; report through a formatter or \
+              structured result"
+             (dotted txt))
+      else if hot_live && is_polymorphic_builtin txt then
+        report ctx ~line ~code:"RSM-L002"
+          (Printf.sprintf
+             "polymorphic `%s` calls caml_compare; use an int-typed or \
+              match-based helper"
+             (dotted txt))
+      else if hot_live && is_allocating_call txt then
+        report ctx ~line ~code:"RSM-L004"
+          (Printf.sprintf
+             "`%s` allocates per call; hot paths use preallocated scratch \
+              buffers"
+             (dotted txt))
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ };
+          _ },
+        [ (_, lhs); (_, rhs) ] )
+    when hot_live
+         && (is_flagged_constructor lhs || is_flagged_constructor rhs) ->
+      report ctx ~line:(line_of expr) ~code:"RSM-L002"
+        (Printf.sprintf
+           "polymorphic `%s` against a variant constructor calls \
+            caml_equal; match on the constructor instead"
+           op)
+  | _ -> ()
+
+let lint_structure ctx structure =
+  let default = Ast_iterator.default_iterator in
+  let iterator =
+    {
+      default with
+      expr =
+        (fun self e ->
+          check_node ctx e;
+          match e.pexp_desc with
+          | Pexp_ifthenelse (cond, then_, else_)
+            when mentions_observer cond ->
+              self.expr self cond;
+              in_cold ctx (fun () -> self.expr self then_);
+              Option.iter (self.expr self) else_
+          | Pexp_match (scrutinee, cases) when mentions_observer scrutinee ->
+              self.expr self scrutinee;
+              in_cold ctx (fun () ->
+                  List.iter (self.case self) cases)
+          | Pexp_apply (fn, args) when is_abort_fn fn ->
+              self.expr self fn;
+              in_cold ctx (fun () ->
+                  List.iter (fun (_, arg) -> self.expr self arg) args)
+          | Pexp_assert body -> in_cold ctx (fun () -> self.expr self body)
+          | _ -> default.expr self e);
+    }
+  in
+  iterator.structure iterator structure
+
+let lint_file ~hot path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  let structure = Parse.implementation lexbuf in
+  let ctx = { file = path; hot; allowed = marker_lines text; cold_depth = 0 }
+  in
+  lint_structure ctx structure
+
+let () =
+  let hot = ref false in
+  let parsed_any = ref false in
+  let failed_parse = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--hot" -> hot := true
+        | "--cold" | "--" -> hot := false
+        | path -> (
+            parsed_any := true;
+            try lint_file ~hot:!hot path
+            with exn ->
+              failed_parse := true;
+              Location.report_exception Format.err_formatter exn))
+    Sys.argv;
+  if not !parsed_any then begin
+    prerr_endline
+      "usage: resim_lint [--hot] file.ml ... [--cold] file.ml ...";
+    exit 2
+  end;
+  let ordered =
+    List.sort
+      (fun (a : finding) (b : finding) ->
+        match compare a.file b.file with 0 -> compare a.line b.line | c -> c)
+      !findings
+  in
+  List.iter
+    (fun ({ file; line; code; message } : finding) ->
+      Printf.printf "%s:%d: error[%s] %s\n" file line code message)
+    ordered;
+  (match ordered with
+  | [] -> if not !failed_parse then print_endline "resim-lint: clean"
+  | fs ->
+      Printf.printf "resim-lint: %d finding(s)\n" (List.length fs));
+  if !failed_parse then exit 2 else if ordered <> [] then exit 1

@@ -1,0 +1,8 @@
+(* The static-analysis umbrella: one structured-diagnostic core shared
+   by the configuration validator (layer 1) and the trace linter
+   (layer 2). Layer 3, the source lint, is the standalone
+   [bin/resim_lint.ml] driven by the dune [@lint] alias. *)
+
+module Diagnostic = Diagnostic
+module Config = Config_check
+module Trace = Trace_check

@@ -1,0 +1,13 @@
+(** Static analysis for ReSim: structured diagnostics, the
+    configuration validator and the trace linter.
+
+    [Check.Config.validate] rejects configurations that violate the
+    paper's architectural constraints before any simulation runs;
+    [Check.Trace.lint] verifies an encoded trace's well-formedness in
+    one streaming pass without running timing. Both speak
+    {!Diagnostic.t}. The third layer — the hot-path source lint — is
+    [bin/resim_lint.ml], wired to [make lint]. *)
+
+module Diagnostic = Diagnostic
+module Config = Config_check
+module Trace = Trace_check

@@ -1,0 +1,180 @@
+module Record = Resim_trace.Record
+module Codec = Resim_trace.Codec
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  records_checked : int;
+  wrong_path_records : int;
+  wrong_path_blocks : int;
+  format : Codec.format option;
+}
+
+let default_max_run = 4096
+
+(* Streaming lint state: one record of lookbehind plus the running
+   wrong-path block length — O(1) space regardless of trace size. *)
+type state = {
+  max_run : int;
+  mutable out : Diagnostic.t list;  (* reversed *)
+  mutable prev : Record.t option;
+  mutable run : int;       (* length of the current tagged run *)
+  mutable checked : int;
+  mutable wrong : int;
+  mutable blocks : int;
+}
+
+let fresh_state ~max_run =
+  { max_run; out = []; prev = None; run = 0; checked = 0; wrong = 0;
+    blocks = 0 }
+
+let record_subject index = Printf.sprintf "record %d" index
+
+let err st ~code ~index ?hint fmt =
+  Printf.ksprintf
+    (fun message ->
+      st.out <-
+        Diagnostic.error ~code ~subject:(record_subject index) ?hint message
+        :: st.out)
+    fmt
+
+let warn st ~code ~index ?hint fmt =
+  Printf.ksprintf
+    (fun message ->
+      st.out <-
+        Diagnostic.warning ~code ~subject:(record_subject index) ?hint
+          message
+        :: st.out)
+    fmt
+
+let reg_limit = Resim_isa.Reg.count - 1
+
+(* RSM-T008: fields a well-formed generator can never produce. *)
+let check_payload st ~index (r : Record.t) =
+  if r.pc < 0 then
+    err st ~code:"RSM-T008" ~index "negative pc %d" r.pc;
+  let reg name value =
+    if value < 0 || value > reg_limit then
+      err st ~code:"RSM-T008" ~index "%s register %d is outside 0..%d"
+        name value reg_limit
+  in
+  reg "dest" r.dest;
+  reg "src1" r.src1;
+  reg "src2" r.src2;
+  match r.payload with
+  | Record.Memory { address; _ } ->
+      if address < 0 then
+        err st ~code:"RSM-T008" ~index "negative memory address %d" address
+  | Record.Branch { kind; taken; target } ->
+      if target < 0 then
+        err st ~code:"RSM-T008" ~index "negative branch target %d" target;
+      (match kind with
+      | Resim_isa.Opcode.Cond -> ()
+      | Resim_isa.Opcode.Jump | Resim_isa.Opcode.Call
+      | Resim_isa.Opcode.Ret | Resim_isa.Opcode.Indirect ->
+          if not taken then
+            err st ~code:"RSM-T008" ~index
+              "unconditional branch recorded as not taken")
+  | Record.Other _ -> ()
+
+(* The tag-bit protocol of §III: a tagged block models the wrong path
+   the front end runs down after a branch the generator's predictor
+   mispredicted, so it can start only right after an untagged branch
+   record, and it is bounded by the generator's wrong-path limit. *)
+let check_tagging st ~index (r : Record.t) =
+  if r.Record.wrong_path then begin
+    st.wrong <- st.wrong + 1;
+    if st.run = 0 then begin
+      st.blocks <- st.blocks + 1;
+      (match st.prev with
+      | None ->
+          err st ~code:"RSM-T005" ~index
+            ~hint:"a wrong-path block must follow its mispredicted branch"
+            "tagged record at the start of the trace"
+      | Some prev ->
+          if not (Record.is_branch prev) then
+            err st ~code:"RSM-T005" ~index
+              ~hint:"a wrong-path block must follow its mispredicted branch"
+              "wrong-path block starts after a non-branch record"
+          else
+            (match prev.Record.payload with
+            | Record.Branch { kind = Resim_isa.Opcode.Cond; _ } -> ()
+            | Record.Branch _ ->
+                warn st ~code:"RSM-T006" ~index
+                  "wrong-path block follows an unconditional branch \
+                   (generators emit blocks only after conditional \
+                   mispredictions)"
+            | Record.Memory _ | Record.Other _ -> ()))
+    end;
+    st.run <- st.run + 1;
+    if st.run = st.max_run + 1 then
+      err st ~code:"RSM-T007" ~index
+        ~hint:"the reference generator bounds blocks by ROB + IFQ entries"
+        "wrong-path run exceeds %d records (tag bit stuck on?)" st.max_run
+  end
+  else st.run <- 0
+
+let check_record st (r : Record.t) =
+  let index = st.checked in
+  check_tagging st ~index r;
+  check_payload st ~index r;
+  st.prev <- Some r;
+  st.checked <- st.checked + 1
+
+let finish st ~format =
+  let found = List.rev st.out in
+  { diagnostics = Diagnostic.errors found @ Diagnostic.warnings found;
+    records_checked = st.checked;
+    wrong_path_records = st.wrong;
+    wrong_path_blocks = st.blocks;
+    format }
+
+let lint_records ?(max_wrong_path_run = default_max_run) records =
+  let st = fresh_state ~max_run:max_wrong_path_run in
+  Array.iter (check_record st) records;
+  finish st ~format:None
+
+let lint_string ?(max_wrong_path_run = default_max_run) data =
+  match Codec.Cursor.of_string data with
+  | exception Codec.Corrupt message ->
+      { diagnostics =
+          [ Diagnostic.error ~code:"RSM-T001" ~subject:"header"
+              ~hint:"regenerate the trace with resim tracegen"
+              (Printf.sprintf "malformed stream header: %s" message) ];
+        records_checked = 0;
+        wrong_path_records = 0;
+        wrong_path_blocks = 0;
+        format = None }
+  | cursor ->
+      let st = fresh_state ~max_run:max_wrong_path_run in
+      let stopped = ref false in
+      while (not !stopped) && Codec.Cursor.has_next cursor do
+        match Codec.Cursor.next cursor with
+        | record -> check_record st record
+        | exception Resim_trace.Bitio.Reader.Out_of_bits ->
+            err st ~code:"RSM-T002" ~index:st.checked
+              ~hint:"the file was truncated after encoding"
+              "payload ends inside record %d of %d" st.checked
+              (Codec.Cursor.count cursor);
+            stopped := true
+        | exception Codec.Corrupt message ->
+            err st ~code:"RSM-T003" ~index:st.checked
+              "undecodable record: %s" message;
+            stopped := true
+      done;
+      if (not !stopped) && Codec.Cursor.bits_remaining cursor >= 8 then begin
+        let index = st.checked in
+        warn st ~code:"RSM-T004" ~index
+          "%d trailing byte(s) after the last declared record"
+          (Codec.Cursor.bits_remaining cursor / 8)
+      end;
+      finish st ~format:(Some (Codec.Cursor.format cursor))
+
+let lint_file ?max_wrong_path_run path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let data = really_input_string ic (in_channel_length ic) in
+      lint_string ?max_wrong_path_run data)
+
+let clean report = report.diagnostics = []

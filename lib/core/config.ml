@@ -5,6 +5,13 @@ let organization_name = function
   | Improved -> "improved"
   | Optimized -> "optimized"
 
+(* A match, not [= Optimized]: the engine consults this on per-cycle
+   paths, where polymorphic equality on the variant would be an
+   external caml_equal call (lint rule RSM-L002). *)
+let is_optimized = function
+  | Optimized -> true
+  | Simple | Improved -> false
+
 let minor_cycles_per_major organization ~width =
   match organization with
   | Simple -> (2 * width) + 3

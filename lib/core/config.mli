@@ -16,6 +16,10 @@ type organization =
 
 val organization_name : organization -> string
 
+val is_optimized : organization -> bool
+(** Allocation- and caml_equal-free test used on the engine's per-cycle
+    paths (the Optimized organization changes issue-slot rules). *)
+
 val minor_cycles_per_major : organization -> width:int -> int
 (** The latency formulas above. *)
 

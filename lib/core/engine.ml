@@ -5,6 +5,10 @@ module Hierarchy = Resim_cache.Hierarchy
 
 exception Deadlock of string
 
+(* Monomorphic int max: Stdlib.max is a polymorphic caml_compare call,
+   banned on hot paths by lint rule RSM-L002. *)
+let[@inline] imax (a : int) b = if a >= b then a else b
+
 (* Observable pipeline events, for tracing tools (Pipeline_trace). *)
 type event =
   | Ev_fetch of Trace.Record.t
@@ -47,6 +51,12 @@ type t = {
   completion : Entry.t Event_queue.t;
   due : Entry.t Event_queue.t;
   ready : Entry.t Event_queue.t;
+  (* Scratch buffer the event issue phase drains the ready pool into —
+     reused every cycle so issue allocates no per-cycle list. Stale
+     references past [candidate_count] are bounded by the ROB capacity
+     and overwritten on reuse, the Ring storage policy. *)
+  mutable candidates : Entry.t array;
+  mutable candidate_count : int;
   predictor : Bpred.Predictor.t;
   icache : Hierarchy.t;
   dcache : Hierarchy.t;
@@ -82,6 +92,8 @@ let create_from_source ?(config = Config.reference) source =
     completion = Event_queue.create ();
     due = Event_queue.create ();
     ready = Event_queue.create ();
+    candidates = [||];
+    candidate_count = 0;
     predictor = Bpred.Predictor.create config.predictor;
     icache =
       Hierarchy.create ~timing:config.cache_timing config.icache ~l2:shared_l2;
@@ -206,7 +218,7 @@ let squash t (branch : Entry.t) =
       (fun (entry : Entry.t) ->
         if entry.id > branch.id then entry.squashed <- true)
       t.rob;
-  if t.observer <> None then begin
+  if observed t then begin
     Rob.iter
       (fun (entry : Entry.t) ->
         if entry.id > branch.id then notify t (Ev_squash entry))
@@ -234,7 +246,7 @@ let squash t (branch : Entry.t) =
   in
   skip_tagged ();
   t.fetch_mode <- Normal;
-  t.fetch_stall <- max t.fetch_stall t.config.misspeculation_penalty;
+  t.fetch_stall <- imax t.fetch_stall t.config.misspeculation_penalty;
   t.last_fetch_block <- -1
 
 (* ------------------------------------------------------------------ *)
@@ -250,7 +262,7 @@ let commit_phase t =
     if Rob.is_empty t.rob then blocked := true
     else begin
       let entry = Rob.first t.rob in
-        if entry.Entry.state <> Entry.Completed || entry.completed_cycle >= now
+        if (not (Entry.is_completed entry)) || entry.completed_cycle >= now
         then blocked := true
         else if Entry.is_wrong_path entry then
           failwith "Engine: wrong-path instruction reached commit"
@@ -286,7 +298,7 @@ let commit_phase t =
             (match entry.record.payload with
             | Trace.Record.Branch { kind; taken; target } ->
                 Stats.incr t.stats Stats.committed_branches;
-                if kind = Cond then
+                if Resim_isa.Opcode.is_cond_kind kind then
                   Stats.incr t.stats Stats.committed_cond_branches;
                 Bpred.Predictor.update t.predictor ~pc:entry.record.pc ~kind
                   ~taken ~target;
@@ -352,7 +364,7 @@ let wakeup_event t (producer : Entry.t) =
           dependent.src2_producer <- Entry.no_producer;
           cleared := true
         end;
-        if !cleared && dependent.state = Entry.Dispatched then
+        if !cleared && Entry.is_dispatched dependent then
           if Entry.is_load dependent then begin
             if Entry.sources_ready dependent then reclassify_load t dependent
           end
@@ -373,7 +385,7 @@ let writeback_phase_scan t =
      Rob.iter
        (fun (entry : Entry.t) ->
          if !broadcast >= t.config.width then raise Exit;
-         if entry.state = Entry.Issued && entry.complete_at <= now
+         if Entry.is_issued entry && entry.complete_at <= now
          then begin
            entry.state <- Entry.Completed;
            entry.completed_cycle <- now;
@@ -393,14 +405,14 @@ let writeback_phase_event t =
   while Event_queue.min_at t.completion <= now do
     let entry : Entry.t = Event_queue.top t.completion in
     Event_queue.drop t.completion;
-    if (not entry.squashed) && entry.state = Entry.Issued then
+    if (not entry.squashed) && Entry.is_issued entry then
       Event_queue.push t.due ~at:0 ~id:entry.id entry
   done;
   let broadcast = ref 0 in
   while !broadcast < t.config.width && not (Event_queue.is_empty t.due) do
     let entry : Entry.t = Event_queue.top t.due in
     Event_queue.drop t.due;
-    if (not entry.squashed) && entry.state = Entry.Issued then begin
+    if (not entry.squashed) && Entry.is_issued entry then begin
       entry.state <- Entry.Completed;
       entry.completed_cycle <- now;
       if observed t then notify t (Ev_complete entry);
@@ -480,11 +492,11 @@ let issue_phase_scan t =
   let width = t.config.width in
   (* The optimized organization bars loads from the first issue slot
      (§IV.B): give slot 1 to the oldest ready non-load, if any. *)
-  if t.config.organization = Config.Optimized then begin
+  if Config.is_optimized t.config.organization then begin
     try
       Rob.iter
         (fun (entry : Entry.t) ->
-          if entry.state = Entry.Dispatched && not (Entry.is_load entry)
+          if Entry.is_dispatched entry && not (Entry.is_load entry)
           then begin
             let latency = try_issue t ~reads_used entry in
             if latency >= 0 then begin
@@ -500,7 +512,7 @@ let issue_phase_scan t =
      Rob.iter
        (fun (entry : Entry.t) ->
          if !slots_used >= width then raise Exit;
-         if entry.state = Entry.Dispatched then begin
+         if Entry.is_dispatched entry then begin
            let latency = try_issue t ~reads_used entry in
            if latency >= 0 then begin
              issue_entry t entry ~latency;
@@ -511,62 +523,69 @@ let issue_phase_scan t =
    with Exit -> ());
   Stats.observe_issue_width t.stats !slots_used
 
+let push_candidate t (entry : Entry.t) =
+  let capacity = Array.length t.candidates in
+  if t.candidate_count = capacity then begin
+    let grown = Array.make (imax 16 (2 * capacity)) entry in
+    Array.blit t.candidates 0 grown 0 capacity;
+    t.candidates <- grown
+  end;
+  t.candidates.(t.candidate_count) <- entry;
+  t.candidate_count <- t.candidate_count + 1
+
 let issue_phase_event t =
   Fu.begin_cycle t.fu;
   let slots_used = ref 0 in
   let reads_used = ref 0 in
   let width = t.config.width in
-  (* Drain the pool oldest-first; entries that do not issue this cycle
-     re-enter it. The pool holds exactly the source-ready entries, so
-     walking it reproduces the scan's visit order over every entry whose
-     [try_issue] could have an effect (including port-stall charges). *)
-  let rec drain acc =
-    if Event_queue.is_empty t.ready then List.rev acc
-    else begin
-      let entry : Entry.t = Event_queue.top t.ready in
-      Event_queue.drop t.ready;
-      entry.in_ready <- false;
-      if (not entry.squashed) && entry.state = Entry.Dispatched then
-        drain (entry :: acc)
-      else drain acc
-    end
-  in
-  let candidates = drain [] in
+  (* Drain the pool oldest-first into the reusable scratch buffer;
+     entries that do not issue this cycle re-enter it. The pool holds
+     exactly the source-ready entries, so walking it reproduces the
+     scan's visit order over every entry whose [try_issue] could have an
+     effect (including port-stall charges). *)
+  t.candidate_count <- 0;
+  while not (Event_queue.is_empty t.ready) do
+    let entry : Entry.t = Event_queue.top t.ready in
+    Event_queue.drop t.ready;
+    entry.in_ready <- false;
+    if (not entry.squashed) && Entry.is_dispatched entry then
+      push_candidate t entry
+  done;
   let first_slot = ref (-1) in
   (* Load-barred first slot of the Optimized organization. *)
-  if t.config.organization = Config.Optimized then begin
+  if Config.is_optimized t.config.organization then begin
     try
-      List.iter
-        (fun (entry : Entry.t) ->
-          if not (Entry.is_load entry) then begin
-            let latency = try_issue t ~reads_used entry in
-            if latency >= 0 then begin
-              issue_entry t entry ~latency;
-              incr slots_used;
-              first_slot := entry.id;
-              raise Exit
-            end
-          end)
-        candidates
-    with Exit -> ()
-  end;
-  List.iter
-    (fun (entry : Entry.t) ->
-      if entry.id <> !first_slot then begin
-        if !slots_used >= width then
-          (* Past the width cutoff the scan stops visiting entries, so
-             charge no stalls — just keep them ready for next cycle. *)
-          push_ready t entry
-        else begin
+      for i = 0 to t.candidate_count - 1 do
+        let entry = t.candidates.(i) in
+        if not (Entry.is_load entry) then begin
           let latency = try_issue t ~reads_used entry in
           if latency >= 0 then begin
             issue_entry t entry ~latency;
-            incr slots_used
+            incr slots_used;
+            first_slot := entry.id;
+            raise Exit
           end
-          else push_ready t entry
         end
-      end)
-    candidates;
+      done
+    with Exit -> ()
+  end;
+  for i = 0 to t.candidate_count - 1 do
+    let entry = t.candidates.(i) in
+    if entry.id <> !first_slot then begin
+      if !slots_used >= width then
+        (* Past the width cutoff the scan stops visiting entries, so
+           charge no stalls — just keep them ready for next cycle. *)
+        push_ready t entry
+      else begin
+        let latency = try_issue t ~reads_used entry in
+        if latency >= 0 then begin
+          issue_entry t entry ~latency;
+          incr slots_used
+        end
+        else push_ready t entry
+      end
+    end
+  done;
   Stats.observe_issue_width t.stats !slots_used
 
 (* ------------------------------------------------------------------ *)
@@ -673,7 +692,7 @@ let fetch_control t (record : Trace.Record.t) ~kind ~taken ~target =
     in
     if misfetch then begin
       Stats.incr t.stats Stats.misfetches;
-      t.fetch_stall <- max t.fetch_stall t.config.misfetch_penalty
+      t.fetch_stall <- imax t.fetch_stall t.config.misfetch_penalty
     end
    | Some _ | None -> ());
   let ras_repair =

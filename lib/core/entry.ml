@@ -43,6 +43,17 @@ let make ~id record =
 
 let sources_ready t = t.src1_producer < 0 && t.src2_producer < 0
 
+(* State tests compile to tag compares; [t.state = Issued] would call
+   caml_equal on every visit (lint rule RSM-L002). *)
+let is_dispatched t =
+  match t.state with Dispatched -> true | Issued | Completed -> false
+
+let is_issued t =
+  match t.state with Issued -> true | Dispatched | Completed -> false
+
+let is_completed t =
+  match t.state with Completed -> true | Dispatched | Issued -> false
+
 let is_load t = Resim_trace.Record.is_load t.record
 let is_store t = Resim_trace.Record.is_store t.record
 let is_branch t = Resim_trace.Record.is_branch t.record

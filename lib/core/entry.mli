@@ -52,6 +52,13 @@ val no_producer : int
 val make : id:int -> Resim_trace.Record.t -> t
 
 val sources_ready : t -> bool
+
+val is_dispatched : t -> bool
+val is_issued : t -> bool
+val is_completed : t -> bool
+(** Per-cycle state tests; matches rather than polymorphic [=] so the
+    hot paths never call caml_equal. *)
+
 val is_load : t -> bool
 val is_store : t -> bool
 val is_branch : t -> bool

@@ -52,7 +52,7 @@ let set t i ~at ~id ~seq payload =
 let grow t payload =
   let capacity = Array.length t.at in
   if t.size = capacity then begin
-    let grown = max 16 (2 * capacity) in
+    let grown = if capacity < 8 then 16 else 2 * capacity in
     let at = Array.make grown 0 in
     let id = Array.make grown 0 in
     let seq = Array.make grown 0 in

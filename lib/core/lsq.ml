@@ -51,7 +51,7 @@ let classify_load t ~position (load : Entry.t) =
 let refresh t =
   Ring.iteri
     (fun position (entry : Entry.t) ->
-      if Entry.is_load entry && entry.state = Entry.Dispatched then
+      if Entry.is_load entry && Entry.is_dispatched entry then
         entry.load_readiness <- classify_load t ~position entry)
     t.ring
 
@@ -73,7 +73,7 @@ let position_of t (entry : Entry.t) =
   scan 0
 
 let refresh_entry t (entry : Entry.t) =
-  if Entry.is_load entry && entry.state = Entry.Dispatched then
+  if Entry.is_load entry && Entry.is_dispatched entry then
     match position_of t entry with
     | Some position ->
         entry.load_readiness <- classify_load t ~position entry
@@ -84,7 +84,7 @@ let refresh_younger t ~than_id ~reclassified =
     (fun position (entry : Entry.t) ->
       if
         entry.id > than_id && Entry.is_load entry
-        && entry.state = Entry.Dispatched
+        && Entry.is_dispatched entry
       then begin
         entry.load_readiness <- classify_load t ~position entry;
         reclassified entry

@@ -67,6 +67,7 @@ let fold f init t =
   iter (fun value -> acc := f !acc value) t;
   !acc
 
+(* Observer/debug path only, never per-cycle. resim-lint: allow *)
 let to_list t = List.rev (fold (fun acc value -> value :: acc) [] t)
 
 let clear t =

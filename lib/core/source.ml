@@ -29,7 +29,9 @@ let of_pull pull =
 (* Drop reclaimed records by shifting the window down; grow it when the
    producer runs ahead of reclamation. *)
 let compact state =
-  let drop = min state.length (max 0 (state.reclaim_below - state.base)) in
+  let reclaimable = state.reclaim_below - state.base in
+  let reclaimable = if reclaimable < 0 then 0 else reclaimable in
+  let drop = if reclaimable < state.length then reclaimable else state.length in
   if drop > 0 then begin
     Array.blit state.window drop state.window 0 (state.length - drop);
     state.base <- state.base + drop;

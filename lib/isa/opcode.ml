@@ -30,6 +30,12 @@ let branch_kind = function
   | Addi | Andi | Ori | Xori | Slti | Lui
   | Mul | Div | Rem | Lw | Sw | Lb | Sb | Nop | Halt -> None
 
+(* A match, not [= Cond]: consulted at commit for every branch, where
+   polymorphic equality on the variant would call caml_equal. *)
+let is_cond_kind = function
+  | Cond -> true
+  | Jump | Call | Ret | Indirect -> false
+
 let is_memory op =
   match op_class op with
   | Load | Store -> true

@@ -31,6 +31,9 @@ val branch_kind : t -> branch_kind option
     [Ret] when its source is the return-address register — that refinement
     is made by the interpreter, here [Jr] maps to [Indirect]. *)
 
+val is_cond_kind : branch_kind -> bool
+(** Caml_equal-free [kind = Cond] for the engine's commit path. *)
+
 val is_memory : t -> bool
 val is_control : t -> bool
 val mnemonic : t -> string

@@ -30,7 +30,14 @@ val run_kernel :
   run
 (** [key] is a display label naming the experiment (e.g. ["table1-left"]);
     memoisation identity comes from the configuration itself. [scale]
-    defaults to [Evaluation]. *)
+    defaults to [Evaluation].
+
+    Every uncached run executes through {!Resim_sweep.Sweep.run_job},
+    so the configuration passes the resim-check validator first:
+    {!Resim_sweep.Sweep.Invalid_config} is raised (naming the failing
+    fields) before any trace generation. The same holds for
+    {!prewarm}, which validates the whole batch before spawning
+    domains. *)
 
 val clear_cache : unit -> unit
 

@@ -39,7 +39,19 @@ let program_of job =
   | Evaluation -> K.program ~scale:K.evaluation_scale ()
   | Exact scale -> K.program ~scale ()
 
+exception Invalid_config of string
+
+(* Fail before any domain spawns or trace generation starts: a sweep
+   burning minutes of host time on a configuration the validator
+   rejects is the bug resim-check exists to catch. *)
+let validate_job job =
+  match Resim_check.Check.Config.error_summary job.config with
+  | None -> ()
+  | Some summary ->
+      raise (Invalid_config (Printf.sprintf "%s: %s" job.label summary))
+
 let run_job job =
+  validate_job job;
   let started = Unix.gettimeofday () in
   let program = program_of job in
   let generated =
@@ -59,6 +71,7 @@ let run_job job =
   { job; generated; outcome; telemetry = { wall_seconds; host_mips } }
 
 let run ?jobs list =
+  List.iter validate_job list;
   let jobs =
     match jobs with Some jobs -> jobs | None -> Pool.recommended_jobs ()
   in

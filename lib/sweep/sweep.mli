@@ -52,14 +52,21 @@ type result = {
   telemetry : telemetry;
 }
 
+exception Invalid_config of string
+(** A job's configuration has {!Resim_check.Check.Config} errors; the
+    payload names the job label and every failing field. *)
+
 val run_job : job -> result
-(** Run one job on the calling domain. *)
+(** Run one job on the calling domain. Raises {!Invalid_config} before
+    any work when the job's configuration does not validate. *)
 
 val run : ?jobs:int -> job list -> result list
 (** Shard the jobs over [jobs] worker domains (default
     {!Pool.recommended_jobs}; [1] runs everything on the calling
     domain) and return results in job order. The first failing job's
-    exception, in job order, is re-raised. *)
+    exception, in job order, is re-raised. Every job's configuration is
+    validated up front — {!Invalid_config} is raised before any domain
+    spawns. *)
 
 val total_wall : result list -> float
 (** Sum of per-job wall times — the serial-equivalent cost, which a

@@ -179,21 +179,53 @@ let encode ?(format = Fixed) records =
 
 let header_length = 4 + 1 + 1 + 8
 
+module Cursor = struct
+  type t = {
+    reader : Bitio.Reader.t;
+    format : format;
+    count : int;
+    state : encoder_state;
+    mutable decoded : int;
+  }
+
+  let of_string data =
+    if String.length data < header_length then
+      raise (Corrupt "truncated header");
+    if String.sub data 0 4 <> magic then raise (Corrupt "bad magic");
+    if Char.code data.[4] <> version then raise (Corrupt "bad version");
+    let format = format_of_code (Char.code data.[5]) in
+    let count = Int64.to_int (String.get_int64_be data 6) in
+    if count < 0 then raise (Corrupt "bad count");
+    let payload =
+      String.sub data header_length (String.length data - header_length)
+    in
+    { reader = Bitio.Reader.create payload;
+      format;
+      count;
+      state = fresh_state ();
+      decoded = 0 }
+
+  let format t = t.format
+  let count t = t.count
+  let decoded t = t.decoded
+  let has_next t = t.decoded < t.count
+
+  let next t =
+    if not (has_next t) then invalid_arg "Codec.Cursor.next: exhausted";
+    let record = decode_record t.format t.reader t.state in
+    t.decoded <- t.decoded + 1;
+    record
+
+  let bits_remaining t = Bitio.Reader.bits_remaining t.reader
+end
+
 let decode data =
-  if String.length data < header_length then raise (Corrupt "truncated header");
-  if String.sub data 0 4 <> magic then raise (Corrupt "bad magic");
-  if Char.code data.[4] <> version then raise (Corrupt "bad version");
-  let format = format_of_code (Char.code data.[5]) in
-  let count = Int64.to_int (String.get_int64_be data 6) in
-  if count < 0 then raise (Corrupt "bad count");
-  let payload = String.sub data header_length (String.length data - header_length) in
-  let r = Bitio.Reader.create payload in
-  let state = fresh_state () in
+  let cursor = Cursor.of_string data in
   let records =
-    try Array.init count (fun _ -> decode_record format r state)
+    try Array.init cursor.Cursor.count (fun _ -> Cursor.next cursor)
     with Bitio.Reader.Out_of_bits -> raise (Corrupt "truncated payload")
   in
-  (records, format)
+  (records, cursor.Cursor.format)
 
 let encoded_bits ?(format = Fixed) records =
   let _payload, bits = payload_string ~format records in

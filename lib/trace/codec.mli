@@ -21,6 +21,31 @@ val encode : ?format:format -> Record.t array -> string
 
 val decode : string -> Record.t array * format
 
+(** Streaming decode: one record at a time without materialising the
+    whole array — the trace linter's view of a stream. *)
+module Cursor : sig
+  type t
+
+  val of_string : string -> t
+  (** Parses the header; raises {!Corrupt} when it is malformed. *)
+
+  val format : t -> format
+  val count : t -> int
+  (** Record count the header declares. *)
+
+  val decoded : t -> int
+  (** Records decoded so far — the offset of the next record. *)
+
+  val has_next : t -> bool
+
+  val next : t -> Record.t
+  (** Decode the next record. Raises {!Corrupt} on an undecodable
+      field, [Bitio.Reader.Out_of_bits] past the end of the payload,
+      and [Invalid_argument] when called after [count] records. *)
+
+  val bits_remaining : t -> int
+end
+
 val encoded_bits : ?format:format -> Record.t array -> int
 (** Payload size in bits, excluding the stream header — the quantity the
     paper reports per instruction. *)

@@ -15,6 +15,7 @@ let () =
          Test_workloads.suite;
          Test_reports.suite;
          Test_sweep.suite;
+         Test_check.suite;
          Test_extensions.suite;
          Test_consistency.suite;
          Test_tools.suite ])
