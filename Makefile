@@ -1,6 +1,12 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check lint bench
+.PHONY: all build test check lint bench faultsmoke
+
+# Wall-clock guard on the PR gate: a hang in any step (the very class
+# of bug the robustness layer exists to prevent) fails the gate after
+# the ceiling instead of wedging it. Ceilings are generous multiples
+# of normal wall time, so only a genuine hang trips them.
+TIMEOUT := timeout
 
 all: build
 
@@ -15,14 +21,21 @@ test:
 lint:
 	dune build @lint
 
-# The PR gate: formatting, full build, source lint, test suite, and a
-# bench smoke that exercises the --json path end to end.
+# The PR gate: formatting, full build, source lint, test suite, a
+# bench smoke that exercises the --json path end to end, and the
+# fault-injection smoke (every corruption class through the CLI).
 check:
-	dune build @fmt
-	dune build
-	dune build @lint
-	dune runtest
-	dune exec bench/main.exe -- --quick --json /dev/null
+	$(TIMEOUT) 300 dune build @fmt
+	$(TIMEOUT) 900 dune build
+	$(TIMEOUT) 300 dune build @lint
+	$(TIMEOUT) 1800 dune runtest
+	$(TIMEOUT) 600 dune exec bench/main.exe -- --quick --json /dev/null
+	$(MAKE) faultsmoke
+
+# Every Fault_inject corruption class end to end through resim
+# faultgen / lint / simulate --degraded, each step under timeout.
+faultsmoke: build
+	$(TIMEOUT) 600 sh scripts/faultsmoke.sh
 
 # Refresh the committed perf trajectory (full engine grid, no paper
 # tables; takes a few minutes).

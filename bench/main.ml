@@ -150,12 +150,14 @@ let sweep_section () =
     let result = f () in
     (result, Unix.gettimeofday () -. started)
   in
-  let serial, serial_wall =
+  let serial_report, serial_wall =
     time (fun () -> Resim_sweep.Sweep.run ~jobs:1 grid)
   in
-  let parallel, parallel_wall =
+  let parallel_report, parallel_wall =
     time (fun () -> Resim_sweep.Sweep.run ~jobs:4 grid)
   in
+  let serial = Resim_sweep.Sweep.completed serial_report in
+  let parallel = Resim_sweep.Sweep.completed parallel_report in
   let cycles (r : Resim_sweep.Sweep.result) =
     Resim_core.Stats.get Resim_core.Stats.major_cycles r.outcome.stats
   in
@@ -179,18 +181,24 @@ let sweep_section () =
     identical;
   Format.printf
     "@.(speedup tracks physical cores; oversubscribing a smaller host \
-     costs domain-scheduling and GC overhead, but results stay identical)@."
+     costs domain-scheduling and GC overhead, but results stay identical)@.";
+  let counts = Resim_sweep.Sweep.counts parallel_report in
+  Format.printf
+    "@.per-job outcomes: %d ok, %d failed, %d timed out, %d truncated, \
+     %d retried@."
+    counts.ok counts.failed counts.timed_out counts.truncated counts.retried;
+  counts
 
 (* ------------------------------------------------------------------ *)
 (* Engine host-throughput grid (Scan vs Event schedulers).              *)
 
-let scheduler_section ~quick ~json =
+let scheduler_section ~quick ~json ?sweep_outcomes () =
   section "Engine host throughput: Scan vs Event scheduler";
   let measurements = Resim_reports.Hostbench.measure ~quick () in
   Format.printf "%a@." Resim_reports.Hostbench.pp_table measurements;
   match json with
   | Some path ->
-      Resim_reports.Hostbench.write_json ~path measurements;
+      Resim_reports.Hostbench.write_json ~path ?sweep_outcomes measurements;
       Format.printf "@.wrote %s@." path
   | None -> ()
 
@@ -206,14 +214,16 @@ let () =
     "bench [--quick] [--json PATH]";
   Format.printf "ReSim reproduction benchmark harness (v%s)@."
     Resim_core.Resim.version;
-  if !quick then scheduler_section ~quick:true ~json:!json
+  if !quick then scheduler_section ~quick:true ~json:!json ()
   else begin
     reports ();
     let csvs = Resim_reports.Csv_export.write_all ~dir:"." in
     Format.printf "@.machine-readable tables: %s@."
       (String.concat ", " csvs);
     bechamel_section ();
-    scheduler_section ~quick:false ~json:!json;
-    sweep_section ()
+    (* The sweep runs first so its per-job outcome counts land in the
+       JSON the scheduler section writes. *)
+    let sweep_outcomes = sweep_section () in
+    scheduler_section ~quick:false ~json:!json ~sweep_outcomes ()
   end;
   Format.printf "@.done.@."

@@ -125,17 +125,160 @@ let tracegen_cmd =
       const tracegen $ kernel_arg $ scale_arg $ program_arg $ output
       $ compact)
 
+(* --- faultgen ------------------------------------------------------ *)
+
+module Fault_inject = Resim_trace.Fault_inject
+
+let severity_name = function
+  | `Error -> "error"
+  | `Warning -> "warning"
+  | `Varies -> "varies"
+
+let faultgen workload scale source_file fault_name seed output compact
+    list_classes =
+  if list_classes then
+    (* Machine-readable: name, expected RSM code (- when it varies),
+       severity — scripts/faultsmoke.sh iterates over these lines. *)
+    List.iter
+      (fun fault ->
+        Format.printf "%-18s %-10s %-8s %s@."
+          (Fault_inject.name fault)
+          (match Fault_inject.expected_code fault with
+          | Some code -> code
+          | None -> "-")
+          (severity_name (Fault_inject.severity fault))
+          (Fault_inject.describe fault))
+      Fault_inject.all
+  else
+    match fault_name with
+    | None ->
+        Format.eprintf
+          "faultgen: --fault CLASS is required (see --list)@.";
+        exit 2
+    | Some name -> (
+        match Fault_inject.of_name name with
+        | None ->
+            Format.eprintf
+              "unknown fault class %S (resim faultgen --list)@." name;
+            exit 2
+        | Some fault ->
+            let program = program_of ?source_file workload scale in
+            let generated = Resim_tracegen.Generator.run program in
+            let format =
+              if compact then Resim_trace.Codec.Compact
+              else Resim_trace.Codec.Fixed
+            in
+            let data =
+              Fault_inject.apply ~seed ~format fault generated.records
+            in
+            let channel = open_out_bin output in
+            Fun.protect
+              ~finally:(fun () -> close_out channel)
+              (fun () -> output_string channel data);
+            Format.printf
+              "wrote %s: %d clean records + %s (seed %d, expect %s, \
+               severity %s)@."
+              output
+              (Array.length generated.records)
+              (Fault_inject.describe fault)
+              seed
+              (match Fault_inject.expected_code fault with
+              | Some code -> code
+              | None -> "varies")
+              (severity_name (Fault_inject.severity fault)))
+
+let faultgen_cmd =
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"CLASS"
+          ~doc:"Corruption class to inject (kebab-case; see --list).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Deterministic injection seed; (class, seed) replays the \
+                same corruption.")
+  in
+  let output =
+    Arg.(
+      value & opt string "fault.trace"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ] ~doc:"Use the delta-compressed encoding.")
+  in
+  let list_classes =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the corruption classes (name, expected RSM code, \
+                severity, description) and exit.")
+  in
+  Cmd.v
+    (Cmd.info "faultgen"
+       ~doc:"Generate a deliberately corrupted trace for robustness \
+             testing (each class maps to one RSM-T diagnostic)")
+    Term.(
+      const faultgen $ kernel_arg $ scale_arg $ program_arg $ fault $ seed
+      $ output $ compact $ list_classes)
+
 (* --- simulate ------------------------------------------------------ *)
 
-let simulate workload scale source_file trace_file perfect_bp caches =
-  let records =
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Exit codes: 0 clean, 1 generic failure, 2 invalid configuration or
+   usage, 3 structured trace fault / deadlock (the diagnostic names the
+   RSM code and record offset). *)
+let fault_exit = 3
+
+let simulate workload scale source_file trace_file perfect_bp caches
+    max_cycles timeout checkpoint_out resume_file degraded =
+  let degraded_resync =
+    match degraded with
+    | None -> false
+    | Some "resync" -> true
+    | Some other ->
+        Format.eprintf "unknown --degraded mode %S (supported: resync)@."
+          other;
+        exit 2
+  in
+  let records, salvage_faults =
     match trace_file with
-    | Some path ->
-        let records, _format = Resim_trace.Codec.read_file path in
-        records
+    | Some path -> (
+        let data = read_file_bytes path in
+        if degraded_resync then
+          match Resim_trace.Codec.decode_degraded data with
+          | Error error ->
+              Format.eprintf "%s: %s@." path
+                (Resim_trace.Codec.error_to_string error);
+              exit fault_exit
+          | Ok (records, _format, faults) -> (records, faults)
+        else
+          match Resim_trace.Codec.decode_result data with
+          | Error error ->
+              Format.eprintf "%s: %s@." path
+                (Resim_trace.Codec.error_to_string error);
+              Format.eprintf
+                "(rerun with --degraded resync to skip damaged records)@.";
+              exit fault_exit
+          | Ok (records, _format) -> (records, []))
     | None ->
+        if degraded_resync then begin
+          Format.eprintf
+            "--degraded applies to trace files (--trace FILE) only@.";
+          exit 2
+        end;
         let program = program_of ?source_file workload scale in
-        Resim_tracegen.Generator.records program
+        (Resim_tracegen.Generator.records program, [])
   in
   let config =
     let base = Resim_core.Config.reference in
@@ -151,13 +294,76 @@ let simulate workload scale source_file trace_file perfect_bp caches =
     else base
   in
   ensure_valid_config ~context:"simulate" config;
-  let outcome = Resim_core.Resim.simulate_trace ~config records in
-  Format.printf "%a@.@." Resim_core.Resim.pp_outcome outcome;
   List.iter
-    (fun device ->
-      Format.printf "%-10s %.2f MIPS@." device.Resim_fpga.Device.name
-        (Resim_core.Resim.mips outcome ~device))
-    Resim_fpga.Device.all
+    (fun fault ->
+      Format.eprintf "degraded: skipped %s@."
+        (Resim_trace.Fault.to_string fault))
+    salvage_faults;
+  let finish outcome =
+    if salvage_faults <> [] then
+      Resim_core.Stats.mark_degraded
+        ~faults:(List.length salvage_faults)
+        outcome.Resim_core.Resim.stats;
+    Format.printf "%a@.@." Resim_core.Resim.pp_outcome outcome;
+    List.iter
+      (fun device ->
+        Format.printf "%-10s %.2f MIPS@." device.Resim_fpga.Device.name
+          (Resim_core.Resim.mips outcome ~device))
+      Resim_fpga.Device.all
+  in
+  match resume_file with
+  | Some path -> (
+      match Resim_core.Checkpoint.load path with
+      | Error message ->
+          Format.eprintf "--resume %s: %s@." path message;
+          exit 2
+      | Ok checkpoint -> (
+          match
+            Resim_core.Resim.resume_trace ~config ~checkpoint records
+          with
+          | Error message ->
+              Format.eprintf "resume failed: %s@." message;
+              exit fault_exit
+          | Ok outcome ->
+              Format.printf "resumed from cycle %Ld (cursor %d)@."
+                checkpoint.Resim_core.Checkpoint.cycle
+                checkpoint.Resim_core.Checkpoint.cursor;
+              finish outcome))
+  | None -> (
+      let deadline =
+        Option.map
+          (fun seconds ->
+            let limit = Unix.gettimeofday () +. seconds in
+            fun () -> Unix.gettimeofday () > limit)
+          timeout
+      in
+      match
+        Resim_core.Resim.simulate_robust ~config ?max_cycles ?deadline
+          records
+      with
+      | Error failure ->
+          Format.eprintf "simulate: %s@."
+            (Resim_core.Resim.failure_to_string failure);
+          exit fault_exit
+      | Ok robust ->
+          (match robust.Resim_core.Resim.stop with
+          | Resim_core.Engine.Drained -> ()
+          | Resim_core.Engine.Cycle_budget ->
+              Format.printf
+                "run truncated by --max-cycles; statistics are partial@."
+          | Resim_core.Engine.Time_budget ->
+              Format.printf
+                "run truncated by --timeout; statistics are partial@.");
+          (match (robust.Resim_core.Resim.resume, checkpoint_out) with
+          | Some checkpoint, Some path ->
+              Resim_core.Checkpoint.save path checkpoint;
+              Format.printf "wrote checkpoint %s (resume with --resume)@."
+                path
+          | Some _, None | None, None -> ()
+          | None, Some _ ->
+              Format.printf
+                "run completed; no checkpoint needed or written@.");
+          finish robust.Resim_core.Resim.outcome)
 
 let simulate_cmd =
   let trace_file =
@@ -176,11 +382,55 @@ let simulate_cmd =
       & info [ "caches" ] ~doc:"32KB 8-way L1 caches instead of perfect \
                                 memory.")
   in
+  let max_cycles =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "max-cycles" ] ~docv:"N"
+          ~doc:"Stop after $(docv) major cycles with partial statistics \
+                and a replay checkpoint (see --checkpoint/--resume).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget; the run truncates gracefully with \
+                partial statistics when it expires.")
+  in
+  let checkpoint_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Where to write the replay checkpoint when the run is \
+                truncated by a budget.")
+  in
+  let resume_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:"Resume a truncated run from a checkpoint written by \
+                --checkpoint; final statistics are bit-identical to an \
+                unbounded run.")
+  in
+  let degraded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "degraded" ] ~docv:"MODE"
+          ~doc:"Degraded decode mode for damaged trace files; $(docv) \
+                must be $(b,resync) — skip to the next decodable record \
+                boundary, report each skipped region and mark the \
+                statistics as degraded.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the ReSim timing engine")
     Term.(
       const simulate $ kernel_arg $ scale_arg $ program_arg $ trace_file
-      $ perfect_bp $ caches)
+      $ perfect_bp $ caches $ max_cycles $ timeout $ checkpoint_out
+      $ resume_file $ degraded)
 
 (* --- area ----------------------------------------------------------- *)
 
@@ -345,7 +595,7 @@ let dedupe_jobs jobs =
       end)
     jobs
 
-let sweep jobs quick =
+let sweep jobs quick keep_going timeout max_cycles retries =
   let jobs = max 1 jobs in
   let grid =
     List.map Resim_reports.Runner.job_of_request
@@ -360,22 +610,39 @@ let sweep jobs quick =
            grid)
     else grid
   in
-  List.iter
-    (fun (job : Resim_sweep.Sweep.job) ->
-      ensure_valid_config ~context:("sweep job " ^ job.label) job.config)
-    grid;
+  (* --keep-going validates per job inside the fault domain instead, so
+     one bad configuration cannot abort the whole grid. *)
+  if not keep_going then
+    List.iter
+      (fun (job : Resim_sweep.Sweep.job) ->
+        ensure_valid_config ~context:("sweep job " ^ job.label) job.config)
+      grid;
   Format.printf
     "sweeping %d job(s) across %d worker domain(s) (host recommends %d)@."
     (List.length grid) jobs
     (Resim_sweep.Pool.recommended_jobs ());
+  let policy =
+    { Resim_sweep.Sweep.default_policy with timeout; max_cycles; retries }
+  in
   let started = Unix.gettimeofday () in
-  let results = Resim_sweep.Sweep.run ~jobs grid in
+  let report =
+    Resim_sweep.Sweep.run ~strict:(not keep_going) ~policy ~jobs grid
+  in
   let wall = Unix.gettimeofday () -. started in
+  let results = Resim_sweep.Sweep.completed report in
   Format.printf "%a@." Resim_sweep.Sweep.pp_table results;
   Format.printf "wall clock %.2f s at -j %d (%.2fx vs serial-equivalent)@."
     wall jobs
     (if wall > 0.0 then Resim_sweep.Sweep.total_wall results /. wall
-     else 1.0)
+     else 1.0);
+  let counts = Resim_sweep.Sweep.counts report in
+  Format.printf
+    "outcomes: %d ok, %d failed, %d timed out, %d truncated, %d retried@."
+    counts.ok counts.failed counts.timed_out counts.truncated counts.retried;
+  if Resim_sweep.Sweep.failures report <> [] then begin
+    Format.printf "%a@." Resim_sweep.Sweep.pp_failures report;
+    exit 1
+  end
 
 let sweep_cmd =
   let jobs =
@@ -393,10 +660,43 @@ let sweep_cmd =
           ~doc:"Rescale every job to its kernel's default (small) input \
                 for a fast smoke run.")
   in
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "keep-going" ]
+          ~doc:"Per-job fault domains: a corrupt trace, deadlock or \
+                timeout becomes a row in the failure summary and the \
+                rest of the sweep still completes (exit 1 when any job \
+                failed). Without it the first failure aborts the sweep.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-job wall-clock budget (with --keep-going).")
+  in
+  let max_cycles =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "max-cycles" ] ~docv:"N"
+          ~doc:"Per-job cycle budget; jobs over it report truncated \
+                partial statistics (with --keep-going).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts for failed jobs, with doubling capped \
+                backoff (with --keep-going).")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run the full ablation grid as a domain-parallel sweep")
-    Term.(const sweep $ jobs $ quick)
+    Term.(
+      const sweep $ jobs $ quick $ keep_going $ timeout $ max_cycles
+      $ retries)
 
 (* --- bench ----------------------------------------------------------- *)
 
@@ -408,9 +708,34 @@ let bench json quick =
     Resim_core.Config.fast_comparable;
   let measurements = Resim_reports.Hostbench.measure ~quick () in
   Format.printf "%a@." Resim_reports.Hostbench.pp_table measurements;
+  (* Full runs also sweep the (default-scale) ablation grid through the
+     fault-domain runner, recording per-job outcome counts in the JSON;
+     quick mode skips it and the counts report null. *)
+  let sweep_outcomes =
+    if quick then None
+    else begin
+      let grid =
+        dedupe_jobs
+          (List.map
+             (fun request ->
+               { (Resim_reports.Runner.job_of_request request) with
+                 Resim_sweep.Sweep.scale = Resim_sweep.Sweep.Default })
+             (Resim_reports.Ablations.requests ()))
+      in
+      let report = Resim_sweep.Sweep.run grid in
+      let counts = Resim_sweep.Sweep.counts report in
+      Format.printf
+        "sweep outcomes (%d job(s)): %d ok, %d failed, %d timed out, \
+         %d truncated, %d retried@."
+        (List.length grid) counts.ok counts.failed counts.timed_out
+        counts.truncated counts.retried;
+      Some counts
+    end
+  in
   match json with
   | Some path ->
-      Resim_reports.Hostbench.write_json ~path measurements;
+      Resim_reports.Hostbench.write_json ~path ?sweep_outcomes
+        measurements;
       Format.printf "wrote %s@." path
   | None -> ()
 
@@ -505,6 +830,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tracegen_cmd; simulate_cmd; area_cmd; schedule_cmd; table_cmd;
-            sweep_cmd; bench_cmd; lint_cmd; disasm_cmd; vhdl_cmd;
-            ptrace_cmd; workloads_cmd ]))
+          [ tracegen_cmd; faultgen_cmd; simulate_cmd; area_cmd;
+            schedule_cmd; table_cmd; sweep_cmd; bench_cmd; lint_cmd;
+            disasm_cmd; vhdl_cmd; ptrace_cmd; workloads_cmd ]))

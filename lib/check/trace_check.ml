@@ -134,31 +134,32 @@ let lint_records ?(max_wrong_path_run = default_max_run) records =
   finish st ~format:None
 
 let lint_string ?(max_wrong_path_run = default_max_run) data =
-  match Codec.Cursor.of_string data with
-  | exception Codec.Corrupt message ->
+  match Codec.Cursor.of_string_result data with
+  | Error { Codec.error_code = _; byte_offset; reason } ->
       { diagnostics =
           [ Diagnostic.error ~code:"RSM-T001" ~subject:"header"
               ~hint:"regenerate the trace with resim tracegen"
-              (Printf.sprintf "malformed stream header: %s" message) ];
+              (Printf.sprintf "malformed stream header at byte %d: %s"
+                 byte_offset reason) ];
         records_checked = 0;
         wrong_path_records = 0;
         wrong_path_blocks = 0;
         format = None }
-  | cursor ->
+  | Ok cursor ->
       let st = fresh_state ~max_run:max_wrong_path_run in
       let stopped = ref false in
       while (not !stopped) && Codec.Cursor.has_next cursor do
-        match Codec.Cursor.next cursor with
-        | record -> check_record st record
-        | exception Resim_trace.Bitio.Reader.Out_of_bits ->
-            err st ~code:"RSM-T002" ~index:st.checked
-              ~hint:"the file was truncated after encoding"
-              "payload ends inside record %d of %d" st.checked
-              (Codec.Cursor.count cursor);
-            stopped := true
-        | exception Codec.Corrupt message ->
-            err st ~code:"RSM-T003" ~index:st.checked
-              "undecodable record: %s" message;
+        match Codec.Cursor.next_result cursor with
+        | Ok record -> check_record st record
+        | Error { Codec.error_code; byte_offset; reason } ->
+            (match error_code with
+            | "RSM-T002" ->
+                err st ~code:"RSM-T002" ~index:st.checked
+                  ~hint:"the file was truncated after encoding"
+                  "at byte %d: %s" byte_offset reason
+            | _ ->
+                err st ~code:error_code ~index:st.checked "at byte %d: %s"
+                  byte_offset reason);
             stopped := true
       done;
       if (not !stopped) && Codec.Cursor.bits_remaining cursor >= 8 then begin

@@ -1,0 +1,93 @@
+(* Lightweight replay checkpoint.
+
+   The engine is deterministic, so a run truncated by a cycle or
+   wall-clock budget can resume exactly by replaying the same trace and
+   configuration up to the recorded cycle: (cycle, cursor, counters) is
+   enough to both restart and *verify* the restart — after replay the
+   cursor and every statistics register must match, or the checkpoint
+   belongs to a different trace/configuration. *)
+
+type t = {
+  cycle : int64;           (* major cycles completed *)
+  cursor : int;            (* trace records consumed *)
+  counters : (string * int64) list;  (* Stats.to_assoc snapshot *)
+}
+
+let make ~cycle ~cursor ~counters = { cycle; cursor; counters }
+
+let magic = "RSCP"
+let version = 1
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %d\n" magic version);
+  Buffer.add_string b (Printf.sprintf "cycle %Ld\n" t.cycle);
+  Buffer.add_string b (Printf.sprintf "cursor %d\n" t.cursor);
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string b (Printf.sprintf "counter %s %Ld\n" name value))
+    t.counters;
+  Buffer.contents b
+
+let of_string data =
+  let lines =
+    String.split_on_char '\n' data
+    |> List.filter (fun line -> String.length line > 0)
+  in
+  match lines with
+  | [] -> Error "empty checkpoint"
+  | header :: rest ->
+      if not (String.equal header (Printf.sprintf "%s %d" magic version))
+      then Error (Printf.sprintf "bad checkpoint header %S" header)
+      else begin
+        let cycle = ref None in
+        let cursor = ref None in
+        let counters = ref [] in
+        let bad = ref None in
+        List.iter
+          (fun line ->
+            match !bad with
+            | Some _ -> ()
+            | None -> (
+                match String.split_on_char ' ' line with
+                | [ "cycle"; v ] -> (
+                    match Int64.of_string_opt v with
+                    | Some v -> cycle := Some v
+                    | None -> bad := Some line)
+                | [ "cursor"; v ] -> (
+                    match int_of_string_opt v with
+                    | Some v -> cursor := Some v
+                    | None -> bad := Some line)
+                | [ "counter"; name; v ] -> (
+                    match Int64.of_string_opt v with
+                    | Some v -> counters := (name, v) :: !counters
+                    | None -> bad := Some line)
+                | _ -> bad := Some line))
+          rest;
+        match (!bad, !cycle, !cursor) with
+        | Some line, _, _ ->
+            Error (Printf.sprintf "bad checkpoint line %S" line)
+        | None, None, _ -> Error "checkpoint missing cycle"
+        | None, _, None -> Error "checkpoint missing cursor"
+        | None, Some cycle, Some cursor ->
+            Ok { cycle; cursor; counters = List.rev !counters }
+      end
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (* resim-lint: allow — writes to an explicit file channel, not the console *)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error message -> Error message
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let pp ppf t =
+  Format.fprintf ppf "checkpoint: cycle %Ld, cursor %d, %d counters" t.cycle
+    t.cursor (List.length t.counters)

@@ -1,0 +1,32 @@
+(** Lightweight replay checkpoint for bounded runs.
+
+    The engine is deterministic, so a run truncated by a cycle or
+    wall-clock budget resumes exactly by replaying the same trace and
+    configuration up to the recorded cycle. The snapshot carries enough
+    to verify the replay as well as to restart it: after stepping back
+    to [cycle], the engine's cursor and every statistics register must
+    equal the recorded values — a mismatch means the checkpoint belongs
+    to a different trace or configuration and the resume is refused
+    ({!Resim.resume_trace}). *)
+
+type t = {
+  cycle : int64;   (** major cycles completed when the run stopped *)
+  cursor : int;    (** trace records consumed *)
+  counters : (string * int64) list;  (** {!Stats.to_assoc} snapshot *)
+}
+
+val make :
+  cycle:int64 -> cursor:int -> counters:(string * int64) list -> t
+
+val to_string : t -> string
+(** Stable line-oriented text form ([RSCP 1] header). *)
+
+val of_string : string -> (t, string) result
+
+val save : string -> t -> unit
+(** Write to a file; raises [Sys_error] on IO failure. *)
+
+val load : string -> (t, string) result
+(** Read from a file; IO and parse failures are both [Error]. *)
+
+val pp : Format.formatter -> t -> unit

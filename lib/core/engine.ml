@@ -3,7 +3,25 @@ module Bpred = Resim_bpred
 module Cache = Resim_cache.Cache
 module Hierarchy = Resim_cache.Hierarchy
 
-exception Deadlock of string
+(* Structured no-progress report: every watchdog or budget trip carries
+   the engine position, so the failure is diagnosable without a
+   debugger. [stuck_for] is 0 when a cycle budget (not the watchdog)
+   fired. *)
+type deadlock = {
+  reason : string;
+  at_cycle : int64;
+  at_cursor : int;
+  rob_occupancy : int;
+  fetch_mode : string;
+  stuck_for : int;
+}
+
+exception Deadlock of deadlock
+
+let pp_deadlock ppf d =
+  Format.fprintf ppf
+    "%s (cycle %Ld, cursor %d, rob %d, fetch mode %s, stuck %d cycles)"
+    d.reason d.at_cycle d.at_cursor d.rob_occupancy d.fetch_mode d.stuck_for
 
 (* Monomorphic int max: Stdlib.max is a polymorphic caml_compare call,
    banned on hot paths by lint rule RSM-L002. *)
@@ -195,10 +213,18 @@ let register_dispatched t (entry : Entry.t) =
     | Some producer ->
         producer.Entry.dependents <- entry :: producer.Entry.dependents
     | None ->
-        failwith
-          (Printf.sprintf
-             "Engine: entry #%d depends on #%d which is not in flight"
-             entry.id id)
+        (* Corrupt dependency state can only come from a malformed trace
+           (register fields outside the renameable range decode to wild
+           producers); surface it as a structured trace fault. *)
+        raise
+          (Trace.Fault.Trace_fault
+             { code = "RSM-T008";
+               offset = t.cursor;
+               context =
+                 Printf.sprintf
+                   "entry #%d depends on #%d which is not in flight \
+                    (cycle %Ld)"
+                   entry.id id t.cycle })
   in
   let src1 = entry.src1_producer in
   let src2 = entry.src2_producer in
@@ -265,7 +291,18 @@ let commit_phase t =
         if (not (Entry.is_completed entry)) || entry.completed_cycle >= now
         then blocked := true
         else if Entry.is_wrong_path entry then
-          failwith "Engine: wrong-path instruction reached commit"
+          (* The tag-bit protocol guarantees a squash resolves before
+             any tagged record can retire; reaching here means the trace
+             violated the protocol (RSM-T005 family). *)
+          raise
+            (Trace.Fault.Trace_fault
+               { code = "RSM-T005";
+                 offset = t.cursor;
+                 context =
+                   Printf.sprintf
+                     "wrong-path instruction pc=%d reached commit at \
+                      cycle %Ld"
+                     entry.record.Trace.Record.pc t.cycle })
         else begin
           let entry_commits =
             if Entry.is_store entry then begin
@@ -804,42 +841,103 @@ let fetch_mode_name t =
   | Wrong_path -> "wrong-path"
   | Awaiting_resolution -> "awaiting"
 
-let run ?(max_cycles = 1_000_000_000L) t =
+let cursor t = t.cursor
+
+let checkpoint t =
+  Checkpoint.make ~cycle:t.cycle ~cursor:t.cursor
+    ~counters:(Stats.to_assoc t.stats)
+
+let deadlock_here t ~reason ~stuck_for =
+  { reason;
+    at_cycle = t.cycle;
+    at_cursor = t.cursor;
+    rob_occupancy = Rob.length t.rob;
+    fetch_mode = fetch_mode_name t;
+    stuck_for }
+
+type stop = Drained | Cycle_budget | Time_budget
+
+type bounded = { final : Stats.t; stop : stop; resume : Checkpoint.t option }
+
+let default_watchdog = 100_000
+
+(* How many cycles between calls of the (possibly wall-clock-reading)
+   deadline closure: cheap enough to keep hot-loop overhead invisible,
+   frequent enough that a timeout lands within microseconds. *)
+let deadline_poll_interval = 256
+
+let run_bounded ?(watchdog = default_watchdog) ?max_cycles ?deadline t =
   (* Progress watchdog on plain ints: this loop runs every cycle. *)
   let last_cursor = ref t.cursor in
   let last_committed = ref (Stats.get_int Stats.committed t.stats) in
   let last_rob = ref (Rob.length t.rob) in
   let stuck_for = ref 0 in
-  while not (finished t) do
-    if Int64.compare t.cycle max_cycles >= 0 then
-      raise
-        (Deadlock
-           (Printf.sprintf
-              "exceeded max_cycles at cycle %Ld (cursor %d, rob %d, mode %s)"
-              t.cycle t.cursor (Rob.length t.rob) (fetch_mode_name t)));
-    step t;
-    let committed = Stats.get_int Stats.committed t.stats in
-    let rob = Rob.length t.rob in
-    if t.cursor = !last_cursor && committed = !last_committed
-       && rob = !last_rob
-    then begin
-      incr stuck_for;
-      if !stuck_for > 100_000 then
-        raise
-          (Deadlock
-             (Printf.sprintf
-                "no progress for %d cycles (cycle %Ld, cursor %d, rob %d, \
-                 mode %s)"
-                !stuck_for t.cycle t.cursor (Rob.length t.rob)
-                (fetch_mode_name t)))
+  let poll = ref 0 in
+  let verdict = ref Drained in
+  let running = ref (not (finished t)) in
+  while !running do
+    let budget_hit =
+      match max_cycles with
+      | Some budget -> Int64.compare t.cycle budget >= 0
+      | None -> false
+    in
+    let deadline_hit =
+      (not budget_hit)
+      &&
+      match deadline with
+      | Some hit ->
+          poll := !poll + 1;
+          if !poll >= deadline_poll_interval then begin
+            poll := 0;
+            hit ()
+          end
+          else false
+      | None -> false
+    in
+    if budget_hit then begin
+      verdict := Cycle_budget;
+      running := false
+    end
+    else if deadline_hit then begin
+      verdict := Time_budget;
+      running := false
     end
     else begin
-      stuck_for := 0;
-      last_cursor := t.cursor;
-      last_committed := committed;
-      last_rob := rob
+      step t;
+      let committed = Stats.get_int Stats.committed t.stats in
+      let rob = Rob.length t.rob in
+      if t.cursor = !last_cursor && committed = !last_committed
+         && rob = !last_rob
+      then begin
+        incr stuck_for;
+        if !stuck_for > watchdog then
+          raise
+            (Deadlock
+               (deadlock_here t ~reason:"no commit/fetch progress"
+                  ~stuck_for:!stuck_for))
+      end
+      else begin
+        stuck_for := 0;
+        last_cursor := t.cursor;
+        last_committed := committed;
+        last_rob := rob
+      end;
+      if finished t then running := false
     end
   done;
-  t.stats
+  { final = t.stats;
+    stop = !verdict;
+    resume =
+      (match !verdict with
+      | Drained -> None
+      | Cycle_budget | Time_budget -> Some (checkpoint t)) }
+
+let run ?(max_cycles = 1_000_000_000L) t =
+  let bounded = run_bounded ~max_cycles t in
+  match bounded.stop with
+  | Drained -> bounded.final
+  | Cycle_budget ->
+      raise (Deadlock (deadlock_here t ~reason:"exceeded max_cycles" ~stuck_for:0))
+  | Time_budget -> assert false (* no deadline was installed *)
 
 let simulate ?config trace = run (create ?config trace)

@@ -75,12 +75,64 @@ val finished : t -> bool
 val step : t -> unit
 (** Simulate one major cycle. No-op once {!finished}. *)
 
-exception Deadlock of string
-(** Raised by {!run} when no progress is made for a long stretch —
-    indicates an engine bug, never expected on valid traces. *)
+val cursor : t -> int
+(** Trace records consumed so far (the fetch cursor). *)
+
+(** Structured no-progress report carried by {!Deadlock}: the engine
+    position at the moment the watchdog or a budget tripped.
+    [stuck_for] is 0 when a cycle budget (not the watchdog) fired. *)
+type deadlock = {
+  reason : string;
+  at_cycle : int64;
+  at_cursor : int;
+  rob_occupancy : int;
+  fetch_mode : string;
+  stuck_for : int;
+}
+
+exception Deadlock of deadlock
+(** Raised by {!run}/{!run_bounded} when no commit or fetch progress is
+    made for a whole watchdog window — an engine bug or a pathological
+    trace, never expected on valid input. *)
+
+val pp_deadlock : Format.formatter -> deadlock -> unit
+
+val checkpoint : t -> Checkpoint.t
+(** Snapshot the current position for a deterministic replay resume. *)
+
+(** Why a bounded run returned. *)
+type stop =
+  | Drained       (** trace consumed and pipeline empty — a full run *)
+  | Cycle_budget  (** [max_cycles] reached; stats are partial *)
+  | Time_budget   (** the deadline closure fired; stats are partial *)
+
+type bounded = {
+  final : Stats.t;
+  stop : stop;
+  resume : Checkpoint.t option;
+      (** a replay checkpoint whenever the run was truncated *)
+}
+
+val default_watchdog : int
+(** No-progress cycles before {!Deadlock} (100k). *)
+
+val run_bounded :
+  ?watchdog:int ->
+  ?max_cycles:int64 ->
+  ?deadline:(unit -> bool) ->
+  t ->
+  bounded
+(** Step until {!finished} or a budget trips, truncating gracefully with
+    partial statistics and a replay checkpoint instead of raising. The
+    [deadline] closure is polled every few hundred cycles — pass a
+    wall-clock check; the engine itself never reads the clock. Raises
+    {!Deadlock} only for genuine no-progress (watchdog), and lets
+    {!Resim_trace.Fault.Trace_fault} from protocol violations
+    propagate. *)
 
 val run : ?max_cycles:int64 -> t -> Stats.t
-(** Step until {!finished} (or [max_cycles], default 1 G). *)
+(** Step until {!finished}; raises {!Deadlock} past [max_cycles]
+    (default 1 G). *)
 
 val simulate :
   ?config:Config.t -> Resim_trace.Record.t array -> Stats.t

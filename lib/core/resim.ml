@@ -9,15 +9,83 @@ type outcome = {
   dcache_stats : Resim_cache.Cache.stats;
 }
 
-let simulate_trace ?(config = Config.reference) records =
-  let engine = Engine.create ~config records in
-  let stats = Engine.run engine in
+let outcome_of ~config ~records engine stats =
   { config;
     stats;
     trace_summary = Resim_trace.Summary.of_records records;
     bits_per_instruction = Resim_trace.Codec.bits_per_instruction records;
     icache_stats = Resim_cache.Cache.stats (Engine.icache engine);
     dcache_stats = Resim_cache.Cache.stats (Engine.dcache engine) }
+
+let simulate_trace ?(config = Config.reference) records =
+  let engine = Engine.create ~config records in
+  let stats = Engine.run engine in
+  outcome_of ~config ~records engine stats
+
+(* ------------------------------------------------------------------ *)
+(* Robust entry points: structured failures instead of exceptions,
+   graceful truncation under cycle/wall-clock budgets, deterministic
+   resume from a replay checkpoint. *)
+
+type failure =
+  | Fault of Resim_trace.Fault.t
+  | Deadlock of Engine.deadlock
+
+let failure_to_string = function
+  | Fault fault -> Resim_trace.Fault.to_string fault
+  | Deadlock d -> Format.asprintf "deadlock: %a" Engine.pp_deadlock d
+
+type robust = {
+  outcome : outcome;
+  stop : Engine.stop;
+  resume : Checkpoint.t option;  (* Some whenever the run was truncated *)
+}
+
+let simulate_robust ?(config = Config.reference) ?watchdog ?max_cycles
+    ?deadline records =
+  match
+    let engine = Engine.create ~config records in
+    let bounded = Engine.run_bounded ?watchdog ?max_cycles ?deadline engine in
+    { outcome = outcome_of ~config ~records engine bounded.Engine.final;
+      stop = bounded.Engine.stop;
+      resume = bounded.Engine.resume }
+  with
+  | robust -> Ok robust
+  | exception Resim_trace.Fault.Trace_fault fault -> Error (Fault fault)
+  | exception Engine.Deadlock deadlock -> Error (Deadlock deadlock)
+
+let resume_trace ?(config = Config.reference) ~checkpoint records =
+  let target = checkpoint.Checkpoint.cycle in
+  match
+    let engine = Engine.create ~config records in
+    while
+      Int64.compare (Engine.cycle engine) target < 0
+      && not (Engine.finished engine)
+    do
+      Engine.step engine
+    done;
+    if Int64.compare (Engine.cycle engine) target <> 0 then
+      Error
+        (Printf.sprintf
+           "trace drains at cycle %Ld, before the checkpoint cycle %Ld — \
+            wrong trace for this checkpoint"
+           (Engine.cycle engine) target)
+    else if Engine.cursor engine <> checkpoint.Checkpoint.cursor then
+      Error
+        (Printf.sprintf
+           "cursor mismatch at checkpoint cycle: replayed %d, recorded %d — \
+            wrong trace or configuration"
+           (Engine.cursor engine) checkpoint.Checkpoint.cursor)
+    else if
+      Stats.to_assoc (Engine.stats engine) <> checkpoint.Checkpoint.counters
+    then Error "statistics mismatch at checkpoint cycle — wrong trace or configuration"
+    else Ok (outcome_of ~config ~records engine (Engine.run engine))
+  with
+  | result -> result
+  | exception Resim_trace.Fault.Trace_fault fault ->
+      Error (Resim_trace.Fault.to_string fault)
+  | exception Engine.Deadlock deadlock ->
+      Error (Format.asprintf "deadlock: %a" Engine.pp_deadlock deadlock)
 
 let simulate_program ?(config = Config.reference) ?generator program =
   let generator =

@@ -39,6 +39,49 @@ val simulate_program :
     taken from the engine configuration so the generator and the engine
     model the same front end. *)
 
+(** {1 Robust entry points}
+
+    Structured failures instead of exceptions, graceful truncation under
+    cycle/wall-clock budgets, and deterministic resume from a replay
+    checkpoint. *)
+
+(** Why a robust run could not produce statistics. *)
+type failure =
+  | Fault of Resim_trace.Fault.t
+      (** the trace violated the format or tag-bit protocol *)
+  | Deadlock of Engine.deadlock  (** the progress watchdog tripped *)
+
+val failure_to_string : failure -> string
+
+type robust = {
+  outcome : outcome;
+  stop : Engine.stop;
+  resume : Checkpoint.t option;
+      (** a replay checkpoint whenever the run was truncated *)
+}
+
+val simulate_robust :
+  ?config:Config.t ->
+  ?watchdog:int ->
+  ?max_cycles:int64 ->
+  ?deadline:(unit -> bool) ->
+  Resim_trace.Record.t array ->
+  (robust, failure) result
+(** {!simulate_trace} under fault domains: trace faults and deadlocks
+    come back as [Error]; cycle/wall-clock budgets truncate gracefully
+    with partial statistics and a resume checkpoint. *)
+
+val resume_trace :
+  ?config:Config.t ->
+  checkpoint:Checkpoint.t ->
+  Resim_trace.Record.t array ->
+  (outcome, string) result
+(** Deterministically resume a truncated run: replay the trace to the
+    checkpoint cycle, verify the cursor and every statistics register
+    match the snapshot (refusing a checkpoint from a different trace or
+    configuration), then run to completion. The final statistics are
+    bit-identical to an unbounded run by construction. *)
+
 (** {1 Paper metrics} *)
 
 val mips : outcome -> device:Resim_fpga.Device.t -> float

@@ -26,6 +26,9 @@ type t = {
   lsq_full_stalls : counter;
   write_port_stalls : counter;
   read_port_stalls : counter;
+  (* Faults survived in degraded mode (codec resyncs, salvage decodes):
+     non-zero marks every derived figure as approximate. *)
+  degraded_faults : counter;
   commit_width : Histogram.t;
   issue_width : Histogram.t;
   mutable ifq_occupancy_sum : int;
@@ -56,6 +59,7 @@ let create () =
     lsq_full_stalls = ref 0;
     write_port_stalls = ref 0;
     read_port_stalls = ref 0;
+    degraded_faults = ref 0;
     commit_width = Histogram.create ~bins:17;
     issue_width = Histogram.create ~bins:17;
     ifq_occupancy_sum = 0;
@@ -87,6 +91,12 @@ let rob_full_stalls t = t.rob_full_stalls
 let lsq_full_stalls t = t.lsq_full_stalls
 let write_port_stalls t = t.write_port_stalls
 let read_port_stalls t = t.read_port_stalls
+let degraded_faults t = t.degraded_faults
+
+let mark_degraded ?(faults = 1) t =
+  t.degraded_faults := !(t.degraded_faults) + faults
+
+let degraded t = !(t.degraded_faults) > 0
 
 let commit_width_histogram t = t.commit_width
 let issue_width_histogram t = t.issue_width
@@ -137,9 +147,13 @@ let to_assoc t =
       ("rob_full_stalls", !(t.rob_full_stalls));
       ("lsq_full_stalls", !(t.lsq_full_stalls));
       ("write_port_stalls", !(t.write_port_stalls));
-      ("read_port_stalls", !(t.read_port_stalls)) ]
+      ("read_port_stalls", !(t.read_port_stalls));
+      ("degraded_faults", !(t.degraded_faults)) ]
 
 let pp ppf t =
+  if degraded t then
+    Format.fprintf ppf "DEGRADED: %d fault(s) survived in degraded mode@\n"
+      !(t.degraded_faults);
   Format.fprintf ppf
     "@[<v>major cycles: %d@,\
      fetched: %d (%d wrong-path, %d discarded)@,\

@@ -46,6 +46,16 @@ val lsq_full_stalls : t -> counter
 val write_port_stalls : t -> counter
 val read_port_stalls : t -> counter
 
+val degraded_faults : t -> counter
+(** Faults survived in degraded mode (codec resyncs, salvage decodes). *)
+
+val mark_degraded : ?faults:int -> t -> unit
+(** Mark the run degraded, attributing [faults] (default 1) survived
+    faults; derived figures are approximate from then on. *)
+
+val degraded : t -> bool
+(** True once {!mark_degraded} has been called. *)
+
 (** {1 Per-cycle width distributions} *)
 
 val commit_width_histogram : t -> Histogram.t

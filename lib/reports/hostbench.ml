@@ -185,13 +185,24 @@ let json_escape s =
     s;
   Buffer.contents buffer
 
-let to_json measurements =
+let to_json ?sweep_outcomes measurements =
   let buffer = Buffer.create 4096 in
   Buffer.add_string buffer "{\n";
   Buffer.add_string buffer "  \"benchmark\": \"resim-engine-host-throughput\",\n";
   Buffer.add_string buffer
     (Printf.sprintf "  \"version\": \"%s\",\n"
        (json_escape Resim_core.Resim.version));
+  (match sweep_outcomes with
+  | None ->
+      (* Quick runs skip the sweep section; null keeps the key present
+         so downstream readers need no schema branching. *)
+      Buffer.add_string buffer "  \"sweep_outcomes\": null,\n"
+  | Some (c : Resim_sweep.Sweep.counts) ->
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "  \"sweep_outcomes\": {\"ok\": %d, \"failed\": %d, \
+            \"timed_out\": %d, \"truncated\": %d, \"retried\": %d},\n"
+           c.ok c.failed c.timed_out c.truncated c.retried));
   Buffer.add_string buffer "  \"measurements\": [\n";
   List.iteri
     (fun index m ->
@@ -254,8 +265,8 @@ let to_json measurements =
   Buffer.add_string buffer "  ]\n}\n";
   Buffer.contents buffer
 
-let write_json ~path measurements =
+let write_json ~path ?sweep_outcomes measurements =
   let channel = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out channel)
-    (fun () -> output_string channel (to_json measurements))
+    (fun () -> output_string channel (to_json ?sweep_outcomes measurements))

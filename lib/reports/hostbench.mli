@@ -47,9 +47,16 @@ val speedup_vs_seed :
     point — the end-to-end engine-core speedup this optimization work
     delivered. *)
 
-val to_json : measurement list -> string
+val to_json :
+  ?sweep_outcomes:Resim_sweep.Sweep.counts -> measurement list -> string
 (** The full JSON document (pretty-printed, schema documented in
-    README). *)
+    README). [sweep_outcomes] are the per-job outcome counts from the
+    harness's full-grid sweep (ok/failed/timed_out/truncated/retried);
+    when absent — e.g. quick mode — the key is emitted as [null]. *)
 
-val write_json : path:string -> measurement list -> unit
+val write_json :
+  path:string ->
+  ?sweep_outcomes:Resim_sweep.Sweep.counts ->
+  measurement list ->
+  unit
 (** [to_json] to a file. *)

@@ -113,8 +113,12 @@ let prewarm ?jobs requests =
         end)
       requests
   in
+  (* Strict: report-table inputs must all succeed, and the fail-fast
+     contract keeps the [iter2] below total (completed = all jobs). *)
   let results =
-    Resim_sweep.Sweep.run ?jobs (List.map job_of_request missing)
+    Resim_sweep.Sweep.completed
+      (Resim_sweep.Sweep.run ~strict:true ?jobs
+         (List.map job_of_request missing))
   in
   List.iter2
     (fun request result ->

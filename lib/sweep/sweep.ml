@@ -1,5 +1,9 @@
 module Config = Resim_core.Config
 module Stats = Resim_core.Stats
+module Engine = Resim_core.Engine
+module Checkpoint = Resim_core.Checkpoint
+module Fault = Resim_trace.Fault
+module Rcheck = Resim_check.Check
 
 type scale = Default | Evaluation | Exact of int
 
@@ -8,15 +12,28 @@ type job = {
   workload : Resim_workloads.Workload.t;
   config : Config.t;
   scale : scale;
+  records : Resim_trace.Record.t array option;
+      (* pre-built trace overriding kernel generation *)
+  timeout : float option;  (* per-job wall-clock budget, seconds *)
 }
 
-let job ?label ?(scale = Evaluation) ~config workload =
+let job ?label ?(scale = Evaluation) ?timeout ~config workload =
   let label =
     match label with
     | Some label -> label
     | None -> Resim_workloads.Workload.name_of workload
   in
-  { label; workload; config; scale }
+  { label; workload; config; scale; records = None; timeout }
+
+let trace_job ?(label = "trace") ?timeout ~config records =
+  { label;
+    (* Placeholder for table rendering only: a pre-built trace never
+       touches the kernel. *)
+    workload = List.hd Resim_workloads.Workload.all;
+    config;
+    scale = Exact (Array.length records);
+    records = Some records;
+    timeout }
 
 let generator_config (config : Config.t) =
   { Resim_tracegen.Generator.predictor = config.predictor;
@@ -45,19 +62,37 @@ exception Invalid_config of string
    burning minutes of host time on a configuration the validator
    rejects is the bug resim-check exists to catch. *)
 let validate_job job =
-  match Resim_check.Check.Config.error_summary job.config with
+  match Rcheck.Config.error_summary job.config with
   | None -> ()
   | Some summary ->
       raise (Invalid_config (Printf.sprintf "%s: %s" job.label summary))
 
+(* A pre-built trace arrives without generator metadata; derive the
+   figures the result record and tables need from the records. *)
+let generated_of_records records =
+  let wrong =
+    Array.fold_left
+      (fun acc (r : Resim_trace.Record.t) ->
+        if r.wrong_path then acc + 1 else acc)
+      0 records
+  in
+  { Resim_tracegen.Generator.records;
+    correct_path = Array.length records - wrong;
+    wrong_path = wrong;
+    mispredicted_branches = 0;
+    executed_to_completion = true }
+
+let acquire job =
+  match job.records with
+  | Some records -> generated_of_records records
+  | None ->
+      Resim_tracegen.Generator.run ~config:(generator_config job.config)
+        (program_of job)
+
 let run_job job =
   validate_job job;
   let started = Unix.gettimeofday () in
-  let program = program_of job in
-  let generated =
-    Resim_tracegen.Generator.run ~config:(generator_config job.config)
-      program
-  in
+  let generated = acquire job in
   let outcome =
     Resim_core.Resim.simulate_trace ~config:job.config generated.records
   in
@@ -70,12 +105,212 @@ let run_job job =
   in
   { job; generated; outcome; telemetry = { wall_seconds; host_mips } }
 
-let run ?jobs list =
-  List.iter validate_job list;
+(* ------------------------------------------------------------------ *)
+(* Per-job fault domains: one job's corrupt trace, deadlock, timeout or
+   crash becomes a structured outcome in the report instead of taking
+   the whole sweep down. *)
+
+type failure =
+  | Fault of Fault.t
+  | Deadlock of Engine.deadlock
+  | Invalid of string
+  | Crashed of string
+
+let failure_code = function
+  | Fault fault -> fault.Fault.code
+  | Deadlock _ -> "deadlock"
+  | Invalid _ -> "invalid-config"
+  | Crashed _ -> "crash"
+
+let failure_to_string = function
+  | Fault fault -> Fault.to_string fault
+  | Deadlock d -> Format.asprintf "deadlock: %a" Engine.pp_deadlock d
+  | Invalid summary -> "invalid configuration: " ^ summary
+  | Crashed message -> "crashed: " ^ message
+
+type outcome =
+  | Ok of result
+  | Failed of failure
+  | Timed_out of float  (* wall seconds burned before the deadline hit *)
+  | Truncated of result * Checkpoint.t
+
+type job_report = { job : job; outcome : outcome; attempts : int }
+type report = { job_reports : job_report list }
+
+type policy = {
+  timeout : float option;       (* default per-job budget, seconds *)
+  max_cycles : int64 option;
+  watchdog : int option;
+  retries : int;                (* extra attempts for Failed outcomes *)
+  backoff : float;              (* first retry delay, seconds *)
+  max_backoff : float;
+}
+
+let default_policy =
+  { timeout = None;
+    max_cycles = None;
+    watchdog = None;
+    retries = 0;
+    backoff = 0.25;
+    max_backoff = 5.0 }
+
+(* The §III protocol bound on a tagged block under this configuration —
+   the generator's wrong-path limit, which RSM-T007 enforces. *)
+let protocol_max_run (config : Config.t) =
+  config.rob_entries + config.ifq_entries
+
+let fault_of_diagnostic (d : Rcheck.Diagnostic.t) =
+  (* Lint subjects are "record %d" (or "header"); recover the offset. *)
+  let offset =
+    match String.index_opt d.subject ' ' with
+    | Some i -> (
+        match
+          int_of_string_opt
+            (String.sub d.subject (i + 1) (String.length d.subject - i - 1))
+        with
+        | Some n -> n
+        | None -> 0)
+    | None -> 0
+  in
+  Fault.make ~code:d.code ~offset ~context:d.message
+
+let attempt_unsafe ~policy job : outcome =
+  let generated = acquire job in
+  (* Pre-built traces pass the resim-check lint gate first: the engine
+     tolerates many protocol violations silently (orphan tags are
+     discarded, runaway blocks squashed), so structural faults must
+     surface here as structured failures with their RSM-T code. *)
+  let gate =
+    match job.records with
+    | None -> None
+    | Some records ->
+        let lint =
+          Rcheck.Trace.lint_records
+            ~max_wrong_path_run:(protocol_max_run job.config) records
+        in
+        List.find_opt Rcheck.Diagnostic.is_error
+          lint.Rcheck.Trace.diagnostics
+  in
+  match gate with
+  | Some diagnostic -> Failed (Fault (fault_of_diagnostic diagnostic))
+  | None -> (
+      let started = Unix.gettimeofday () in
+      let timeout =
+        match job.timeout with Some t -> Some t | None -> policy.timeout
+      in
+      let deadline =
+        Option.map
+          (fun seconds ->
+            let limit = started +. seconds in
+            fun () -> Unix.gettimeofday () > limit)
+          timeout
+      in
+      match
+        Resim_core.Resim.simulate_robust ~config:job.config
+          ?watchdog:policy.watchdog ?max_cycles:policy.max_cycles ?deadline
+          generated.Resim_tracegen.Generator.records
+      with
+      | Stdlib.Error (Resim_core.Resim.Fault fault) -> Failed (Fault fault)
+      | Stdlib.Error (Resim_core.Resim.Deadlock d) -> Failed (Deadlock d)
+      | Stdlib.Ok robust ->
+          let wall_seconds = Unix.gettimeofday () -. started in
+          let outcome = robust.Resim_core.Resim.outcome in
+          let committed =
+            Int64.to_float (Stats.get Stats.committed outcome.stats)
+          in
+          let host_mips =
+            if wall_seconds > 0.0 then committed /. wall_seconds /. 1e6
+            else 0.0
+          in
+          let result =
+            { job; generated; outcome; telemetry = { wall_seconds; host_mips } }
+          in
+          (match robust.Resim_core.Resim.stop with
+          | Engine.Drained -> Ok result
+          | Engine.Time_budget -> Timed_out wall_seconds
+          | Engine.Cycle_budget -> (
+              match robust.Resim_core.Resim.resume with
+              | Some checkpoint -> Truncated (result, checkpoint)
+              | None -> Ok result)))
+
+let attempt ~policy job : outcome =
+  match attempt_unsafe ~policy job with
+  | outcome -> outcome
+  | exception Fault.Trace_fault fault -> Failed (Fault fault)
+  | exception Engine.Deadlock d -> Failed (Deadlock d)
+  | exception exn -> Failed (Crashed (Printexc.to_string exn))
+
+let run_job_robust ?(policy = default_policy) job : job_report =
+  match Rcheck.Config.error_summary job.config with
+  | Some summary -> { job; outcome = Failed (Invalid summary); attempts = 1 }
+  | None ->
+      let rec go attempts backoff =
+        let outcome = attempt ~policy job in
+        match outcome with
+        | Failed _ when attempts <= policy.retries ->
+            Unix.sleepf backoff;
+            go (attempts + 1) (Float.min policy.max_backoff (backoff *. 2.0))
+        | outcome -> { job; outcome; attempts }
+      in
+      go 1 policy.backoff
+
+let run ?(strict = false) ?policy ?jobs list =
   let jobs =
     match jobs with Some jobs -> jobs | None -> Pool.recommended_jobs ()
   in
-  Array.to_list (Pool.map ~jobs run_job (Array.of_list list))
+  if strict then begin
+    List.iter validate_job list;
+    let results = Pool.map ~jobs run_job (Array.of_list list) in
+    { job_reports =
+        Array.to_list
+          (Array.map
+             (fun (result : result) ->
+               { job = result.job; outcome = Ok result; attempts = 1 })
+             results) }
+  end
+  else
+    { job_reports =
+        Array.to_list
+          (Pool.map ~jobs (run_job_robust ?policy) (Array.of_list list)) }
+
+let completed report =
+  List.filter_map
+    (fun jr ->
+      match jr.outcome with
+      | Ok result | Truncated (result, _) -> Some result
+      | Failed _ | Timed_out _ -> None)
+    report.job_reports
+
+let failures report =
+  List.filter
+    (fun jr ->
+      match jr.outcome with
+      | Failed _ | Timed_out _ -> true
+      | Ok _ | Truncated _ -> false)
+    report.job_reports
+
+type counts = {
+  ok : int;
+  failed : int;
+  timed_out : int;
+  truncated : int;
+  retried : int;
+}
+
+let counts report =
+  List.fold_left
+    (fun acc jr ->
+      let acc =
+        if jr.attempts > 1 then { acc with retried = acc.retried + 1 }
+        else acc
+      in
+      match jr.outcome with
+      | Ok _ -> { acc with ok = acc.ok + 1 }
+      | Failed _ -> { acc with failed = acc.failed + 1 }
+      | Timed_out _ -> { acc with timed_out = acc.timed_out + 1 }
+      | Truncated _ -> { acc with truncated = acc.truncated + 1 })
+    { ok = 0; failed = 0; timed_out = 0; truncated = 0; retried = 0 }
+    report.job_reports
 
 let total_wall results =
   List.fold_left
@@ -85,7 +320,7 @@ let total_wall results =
 let aggregate_host_mips results =
   let committed =
     List.fold_left
-      (fun acc result ->
+      (fun acc (result : result) ->
         Int64.add acc (Stats.get Stats.committed result.outcome.stats))
       0L results
   in
@@ -106,7 +341,7 @@ let pp_table ppf results =
     "label" "kernel" "scale" "N" "ROB" "org" "major cyc" "IPC" "MIPS V5"
     "wall s" "host MIPS";
   List.iter
-    (fun result ->
+    (fun (result : result) ->
       let config = result.job.config in
       Format.fprintf ppf
         "%-22s %-8s %8s %3d %4d %-9s %12Ld %7.3f %10.2f %8.2f %10.3f@,"
@@ -123,3 +358,21 @@ let pp_table ppf results =
     "@,%d job(s); serial-equivalent wall %.2f s; aggregate host %.3f MIPS@]"
     (List.length results) (total_wall results)
     (aggregate_host_mips results)
+
+let pp_failures ppf report =
+  let failed = failures report in
+  Format.fprintf ppf "@[<v>%-22s %-14s %-9s detail@," "label" "outcome"
+    "attempts";
+  List.iter
+    (fun jr ->
+      match jr.outcome with
+      | Failed failure ->
+          Format.fprintf ppf "%-22s %-14s %-9d %s@," jr.job.label
+            (failure_code failure) jr.attempts (failure_to_string failure)
+      | Timed_out seconds ->
+          Format.fprintf ppf "%-22s %-14s %-9d deadline hit after %.2f s@,"
+            jr.job.label "timed-out" jr.attempts seconds
+      | Ok _ | Truncated _ -> ())
+    failed;
+  Format.fprintf ppf "%d of %d job(s) failed@]" (List.length failed)
+    (List.length report.job_reports)

@@ -1,11 +1,18 @@
-(** Domain-parallel design-space sweeps.
+(** Domain-parallel design-space sweeps with per-job fault domains.
 
     A sweep is a list of independent jobs — (workload, configuration,
-    scale) triples — sharded across worker domains ({!Pool}). Each job
-    generates its trace and runs {!Resim_core.Resim.simulate_trace}
-    entirely on one domain (every [Engine.t] is an independent mutable
-    island, so confinement is the whole safety argument), and results
-    come back in job order with per-job wall-clock telemetry.
+    scale) triples, or pre-built traces — sharded across worker domains
+    ({!Pool}). Each job generates or takes its trace and runs
+    {!Resim_core.Resim} entirely on one domain (every [Engine.t] is an
+    independent mutable island, so confinement is the whole safety
+    argument), and outcomes come back in job order.
+
+    Robustness: by default each job runs in its own fault domain — a
+    corrupt trace, watchdog deadlock, per-job timeout or unexpected
+    crash becomes a structured {!outcome} in the {!report} and the rest
+    of the sweep still completes. [~strict:true] restores the original
+    fail-fast contract (validate everything up front, re-raise the
+    first failing job's exception).
 
     Trace generation and the timing engine are deterministic, so a
     sweep's results are identical at any [jobs] count; a parallel run
@@ -22,15 +29,31 @@ type job = {
   workload : Resim_workloads.Workload.t;
   config : Resim_core.Config.t;
   scale : scale;
+  records : Resim_trace.Record.t array option;
+      (** pre-built trace overriding kernel generation *)
+  timeout : float option;
+      (** per-job wall-clock budget in seconds, overriding the policy *)
 }
 
 val job :
   ?label:string ->
   ?scale:scale ->
+  ?timeout:float ->
   config:Resim_core.Config.t ->
   Resim_workloads.Workload.t ->
   job
 (** [label] defaults to the kernel name; [scale] to [Evaluation]. *)
+
+val trace_job :
+  ?label:string ->
+  ?timeout:float ->
+  config:Resim_core.Config.t ->
+  Resim_trace.Record.t array ->
+  job
+(** A job over a pre-built (possibly corrupt) trace. Robust runs pass
+    it through the resim-check trace lint before simulating, so
+    protocol violations surface as structured {!Fault} failures with
+    their RSM-T code rather than silently skewed statistics. *)
 
 val generator_config :
   Resim_core.Config.t -> Resim_tracegen.Generator.config
@@ -54,19 +77,87 @@ type result = {
 
 exception Invalid_config of string
 (** A job's configuration has {!Resim_check.Check.Config} errors; the
-    payload names the job label and every failing field. *)
+    payload names the job label and every failing field. Raised only on
+    the strict path. *)
 
 val run_job : job -> result
-(** Run one job on the calling domain. Raises {!Invalid_config} before
-    any work when the job's configuration does not validate. *)
+(** Run one job on the calling domain, fail-fast: raises
+    {!Invalid_config} before any work when the configuration does not
+    validate, and lets trace faults and deadlocks escape. *)
 
-val run : ?jobs:int -> job list -> result list
+(** {1 Fault domains} *)
+
+(** Why a job produced no (complete) result. *)
+type failure =
+  | Fault of Resim_trace.Fault.t
+      (** corrupt trace — carries the RSM-T code and record offset *)
+  | Deadlock of Resim_core.Engine.deadlock
+  | Invalid of string  (** configuration failed resim-check *)
+  | Crashed of string  (** unexpected exception, [Printexc.to_string] *)
+
+val failure_code : failure -> string
+(** Short machine-readable tag: the RSM-T code, ["deadlock"],
+    ["invalid-config"] or ["crash"]. *)
+
+val failure_to_string : failure -> string
+
+type outcome =
+  | Ok of result
+  | Failed of failure
+  | Timed_out of float
+      (** the per-job deadline hit; payload is wall seconds burned *)
+  | Truncated of result * Resim_core.Checkpoint.t
+      (** the cycle budget hit; partial stats plus a resume point *)
+
+type job_report = { job : job; outcome : outcome; attempts : int }
+type report = { job_reports : job_report list  (** in job order *) }
+
+type policy = {
+  timeout : float option;   (** default per-job budget, seconds *)
+  max_cycles : int64 option;
+  watchdog : int option;    (** no-progress cycles before deadlock *)
+  retries : int;            (** extra attempts for [Failed] outcomes *)
+  backoff : float;          (** first retry delay, seconds; doubles *)
+  max_backoff : float;      (** backoff cap, seconds *)
+}
+
+val default_policy : policy
+(** No budgets, no retries, engine-default watchdog, 0.25 s → 5 s
+    backoff. *)
+
+val run_job_robust : ?policy:policy -> job -> job_report
+(** Run one job inside its fault domain on the calling domain: never
+    raises. [Failed] outcomes are retried with doubling, capped backoff
+    up to [policy.retries] extra attempts. *)
+
+val run : ?strict:bool -> ?policy:policy -> ?jobs:int -> job list -> report
 (** Shard the jobs over [jobs] worker domains (default
     {!Pool.recommended_jobs}; [1] runs everything on the calling
-    domain) and return results in job order. The first failing job's
-    exception, in job order, is re-raised. Every job's configuration is
-    validated up front — {!Invalid_config} is raised before any domain
-    spawns. *)
+    domain). By default every job runs in its own fault domain and the
+    sweep always completes with a full per-job report — partial results
+    stay available when some jobs fail. With [~strict:true] the
+    original contract applies: every configuration is validated up
+    front ({!Invalid_config} before any domain spawns) and the first
+    failing job's exception, in job order, is re-raised. *)
+
+val completed : report -> result list
+(** Results with statistics, in job order: [Ok] plus [Truncated]
+    (partial) ones. *)
+
+val failures : report -> job_report list
+(** [Failed] and [Timed_out] reports, in job order. *)
+
+type counts = {
+  ok : int;
+  failed : int;
+  timed_out : int;
+  truncated : int;
+  retried : int;  (** jobs that needed more than one attempt *)
+}
+
+val counts : report -> counts
+
+(** {1 Aggregates and rendering} *)
 
 val total_wall : result list -> float
 (** Sum of per-job wall times — the serial-equivalent cost, which a
@@ -79,3 +170,6 @@ val pp_table : Format.formatter -> result list -> unit
 (** One row per job: label, kernel, scale, width/ROB/organization,
     major cycles, IPC, simulated MIPS on the Virtex-5 device, and host
     telemetry. *)
+
+val pp_failures : Format.formatter -> report -> unit
+(** Failure-summary table: label, outcome tag, attempts, detail. *)

@@ -83,4 +83,14 @@ module Reader = struct
   let bits_consumed r = r.total
 
   let bits_remaining r = (String.length r.data * 8) - r.total
+
+  (* The byte holding the next unread bit (= length when exhausted). *)
+  let byte_position r = r.byte
+
+  let seek_byte r byte =
+    if byte < 0 || byte > String.length r.data then
+      invalid_arg "Bitio.Reader.seek_byte: out of range";
+    r.byte <- byte;
+    r.bit <- 0;
+    r.total <- byte * 8
 end

@@ -29,4 +29,13 @@ module Reader : sig
   val get_bool : t -> bool
   val bits_consumed : t -> int
   val bits_remaining : t -> int
+
+  val byte_position : t -> int
+  (** Index of the byte holding the next unread bit; the data length
+      once the reader is exhausted. *)
+
+  val seek_byte : t -> int -> unit
+  (** Reposition the reader to the start of the given byte (resync
+      support for degraded decoding). Raises [Invalid_argument] outside
+      [0..length]. *)
 end

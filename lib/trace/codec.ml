@@ -179,6 +179,11 @@ let encode ?(format = Fixed) records =
 
 let header_length = 4 + 1 + 1 + 8
 
+type error = { error_code : string; byte_offset : int; reason : string }
+
+let error_to_string e =
+  Printf.sprintf "[%s] byte %d: %s" e.error_code e.byte_offset e.reason
+
 module Cursor = struct
   type t = {
     reader : Bitio.Reader.t;
@@ -188,27 +193,60 @@ module Cursor = struct
     mutable decoded : int;
   }
 
-  let of_string data =
+  let header_error data =
     if String.length data < header_length then
-      raise (Corrupt "truncated header");
-    if String.sub data 0 4 <> magic then raise (Corrupt "bad magic");
-    if Char.code data.[4] <> version then raise (Corrupt "bad version");
-    let format = format_of_code (Char.code data.[5]) in
-    let count = Int64.to_int (String.get_int64_be data 6) in
-    if count < 0 then raise (Corrupt "bad count");
-    let payload =
-      String.sub data header_length (String.length data - header_length)
-    in
-    { reader = Bitio.Reader.create payload;
-      format;
-      count;
-      state = fresh_state ();
-      decoded = 0 }
+      Some
+        { error_code = "RSM-T001";
+          byte_offset = String.length data;
+          reason =
+            Printf.sprintf "truncated header (%d of %d bytes)"
+              (String.length data) header_length }
+    else if String.sub data 0 4 <> magic then
+      Some { error_code = "RSM-T001"; byte_offset = 0; reason = "bad magic" }
+    else if Char.code data.[4] <> version then
+      Some
+        { error_code = "RSM-T001";
+          byte_offset = 4;
+          reason = Printf.sprintf "bad version %d" (Char.code data.[4]) }
+    else if Char.code data.[5] > 1 then
+      Some
+        { error_code = "RSM-T001";
+          byte_offset = 5;
+          reason = Printf.sprintf "bad format code %d" (Char.code data.[5]) }
+    else if String.get_int64_be data 6 < 0L then
+      Some { error_code = "RSM-T001"; byte_offset = 6; reason = "bad count" }
+    else None
+
+  let of_string_result data =
+    match header_error data with
+    | Some error -> Error error
+    | None ->
+        let format = format_of_code (Char.code data.[5]) in
+        let count = Int64.to_int (String.get_int64_be data 6) in
+        let payload =
+          String.sub data header_length (String.length data - header_length)
+        in
+        Ok
+          { reader = Bitio.Reader.create payload;
+            format;
+            count;
+            state = fresh_state ();
+            decoded = 0 }
+
+  let of_string data =
+    match of_string_result data with
+    | Ok cursor -> cursor
+    | Error { reason; _ } -> raise (Corrupt reason)
 
   let format t = t.format
   let count t = t.count
   let decoded t = t.decoded
   let has_next t = t.decoded < t.count
+
+  (* Payload position of the byte holding the next unread bit, relative
+     to the whole stream (header included) so diagnostics point into the
+     file the user has. *)
+  let byte_offset t = header_length + Bitio.Reader.byte_position t.reader
 
   let next t =
     if not (has_next t) then invalid_arg "Codec.Cursor.next: exhausted";
@@ -216,7 +254,69 @@ module Cursor = struct
     t.decoded <- t.decoded + 1;
     record
 
+  let next_result t =
+    if not (has_next t) then
+      Error
+        { error_code = "RSM-T002";
+          byte_offset = byte_offset t;
+          reason = "cursor exhausted: all declared records decoded" }
+    else
+      let at = byte_offset t in
+      match decode_record t.format t.reader t.state with
+      | record ->
+          t.decoded <- t.decoded + 1;
+          Ok record
+      | exception Bitio.Reader.Out_of_bits ->
+          Error
+            { error_code = "RSM-T002";
+              byte_offset = at;
+              reason =
+                Printf.sprintf "payload ends inside record %d of %d"
+                  t.decoded t.count }
+      | exception Corrupt reason ->
+          Error
+            { error_code = "RSM-T003";
+              byte_offset = at;
+              reason = Printf.sprintf "undecodable record: %s" reason }
+
   let bits_remaining t = Bitio.Reader.bits_remaining t.reader
+
+  (* Degraded-mode resync: scan forward byte-by-byte for a position from
+     which a record (and, when enough payload remains, the record after
+     it) decodes cleanly, then park the cursor there. Decoder state
+     (previous PC/address) carries over from the last good record, so
+     resynced deltas may still be semantically wrong — the caller marks
+     the run degraded; resync only restores structural decodability. *)
+  let resync t =
+    let start = Bitio.Reader.byte_position t.reader in
+    let reader_length =
+      (Bitio.Reader.bits_consumed t.reader + Bitio.Reader.bits_remaining t.reader)
+      / 8
+    in
+    let try_at offset =
+      Bitio.Reader.seek_byte t.reader offset;
+      let trial =
+        { prev_pc = t.state.prev_pc; prev_addr = t.state.prev_addr }
+      in
+      match
+        let first = decode_record t.format t.reader trial in
+        if Bitio.Reader.bits_remaining t.reader >= 8 then
+          ignore (decode_record t.format t.reader trial);
+        first
+      with
+      | _ -> true
+      | exception (Bitio.Reader.Out_of_bits | Corrupt _) -> false
+    in
+    let rec scan offset =
+      if offset > reader_length then None
+      else if try_at offset then begin
+        (* Re-park at the validated offset: the probe consumed records. *)
+        Bitio.Reader.seek_byte t.reader offset;
+        Some (offset - start)
+      end
+      else scan (offset + 1)
+    in
+    scan (start + 1)
 end
 
 let decode data =
@@ -226,6 +326,58 @@ let decode data =
     with Bitio.Reader.Out_of_bits -> raise (Corrupt "truncated payload")
   in
   (records, cursor.Cursor.format)
+
+let decode_result data =
+  match Cursor.of_string_result data with
+  | Error error -> Error error
+  | Ok cursor ->
+      let rec collect acc =
+        if not (Cursor.has_next cursor) then Ok (List.rev acc)
+        else
+          match Cursor.next_result cursor with
+          | Ok record -> collect (record :: acc)
+          | Error error -> Error error
+      in
+      (match collect [] with
+      | Ok records -> Ok (Array.of_list records, cursor.Cursor.format)
+      | Error error -> Error error)
+
+(* Degraded decode: salvage every structurally decodable record from a
+   corrupt stream. On a decode failure the cursor resyncs to the next
+   byte boundary that decodes cleanly and the failure is reported as a
+   structured fault; the caller is expected to mark the resulting run
+   degraded. Returns [Error] only when the stream header itself is
+   unusable. *)
+let decode_degraded data =
+  match Cursor.of_string_result data with
+  | Error error -> Error error
+  | Ok cursor ->
+      let faults = ref [] in
+      let records = ref [] in
+      let fault (error : error) =
+        faults :=
+          Fault.make ~code:error.error_code ~offset:cursor.Cursor.decoded
+            ~context:
+              (Printf.sprintf "byte %d: %s" error.byte_offset error.reason)
+          :: !faults
+      in
+      let stop = ref false in
+      while (not !stop) && Cursor.has_next cursor do
+        match Cursor.next_result cursor with
+        | Ok record -> records := record :: !records
+        | Error error -> (
+            fault error;
+            (* Skipping to the next decodable boundary also abandons the
+               record-count bookkeeping for the skipped span: we keep
+               decoding until the payload runs dry or the count is met. *)
+            match Cursor.resync cursor with
+            | Some _skipped -> cursor.Cursor.decoded <- cursor.Cursor.decoded + 1
+            | None -> stop := true)
+      done;
+      Ok
+        ( Array.of_list (List.rev !records),
+          cursor.Cursor.format,
+          List.rev !faults )
 
 let encoded_bits ?(format = Fixed) records =
   let _payload, bits = payload_string ~format records in

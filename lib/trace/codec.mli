@@ -16,10 +16,38 @@ type format = Fixed | Compact
 exception Corrupt of string
 (** Raised by [decode]/[read_file] on malformed input. *)
 
+type error = {
+  error_code : string;  (** RSM-T001/T002/T003 — the trace-lint code *)
+  byte_offset : int;    (** position in the stream, header included *)
+  reason : string;
+}
+(** Structured decode failure: what went wrong, which rule it violates
+    and where in the byte stream — the no-exceptions face of the codec
+    used by the linter, the degraded decoder and robust runners. *)
+
+val error_to_string : error -> string
+
+val header_length : int
+(** Bytes of self-describing header before the payload (magic, version,
+    format, record count). *)
+
 val encode : ?format:format -> Record.t array -> string
 (** Serialise; default format [Fixed]. *)
 
 val decode : string -> Record.t array * format
+
+val decode_result : string -> (Record.t array * format, error) result
+(** [decode] without escaping exceptions: any malformed header, field
+    code or truncation comes back as a structured {!error}. *)
+
+val decode_degraded :
+  string -> (Record.t array * format * Fault.t list, error) result
+(** Salvage decode for corrupt streams: on an undecodable record the
+    cursor skips to the next byte boundary that decodes cleanly
+    ({!Cursor.resync}) and the failure is recorded as a {!Fault.t}.
+    Returns every structurally decodable record plus the fault list;
+    [Error] only when the header itself is unusable. A non-empty fault
+    list means downstream results must be treated as degraded. *)
 
 (** Streaming decode: one record at a time without materialising the
     whole array — the trace linter's view of a stream. *)
@@ -28,6 +56,10 @@ module Cursor : sig
 
   val of_string : string -> t
   (** Parses the header; raises {!Corrupt} when it is malformed. *)
+
+  val of_string_result : string -> (t, error) result
+  (** [of_string] with a structured error (code RSM-T001 and the byte
+      offset of the offending header field) instead of an exception. *)
 
   val format : t -> format
   val count : t -> int
@@ -42,6 +74,23 @@ module Cursor : sig
   (** Decode the next record. Raises {!Corrupt} on an undecodable
       field, [Bitio.Reader.Out_of_bits] past the end of the payload,
       and [Invalid_argument] when called after [count] records. *)
+
+  val next_result : t -> (Record.t, error) result
+  (** [next] with structured errors: a truncated record is RSM-T002, an
+      undecodable field RSM-T003, both carrying the byte offset where
+      decoding stopped. Nothing escapes. *)
+
+  val byte_offset : t -> int
+  (** Stream offset (header included) of the byte holding the next
+      unread bit. *)
+
+  val resync : t -> int option
+  (** Skip forward to the next byte boundary from which a record (and
+      its successor, when enough payload remains) decodes cleanly;
+      returns the bytes skipped, or [None] when no boundary exists
+      before the end of the payload. Decoder delta state carries over,
+      so resynced records are structurally sound but may be
+      semantically wrong — mark the run degraded. *)
 
   val bits_remaining : t -> int
 end

@@ -1,0 +1,83 @@
+#!/bin/sh
+# Fault-injection smoke test, wired into `make check` (and available as
+# `make faultsmoke`): for every Fault_inject corruption class, generate
+# a corrupted trace with `resim faultgen`, confirm `resim lint` exits
+# with the class's severity and reports its RSM-T code, and confirm
+# `resim simulate --degraded resync` terminates with a structured
+# outcome (exit 0 or 3) — never a hang (everything runs under
+# `timeout`) and never an uncaught exception.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+CLI="$ROOT/_build/default/bin/resim_cli.exe"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+if [ ! -x "$CLI" ]; then
+    (cd "$ROOT" && dune build bin/resim_cli.exe)
+fi
+
+# The injected runaway run is bounded by Fault_inject.default_max_run
+# (64); the linter must be told that bound or RSM-T007 cannot fire.
+MAX_RUN=64
+fail=0
+
+"$CLI" faultgen --list > "$TMP/classes"
+
+while read -r name code severity _desc; do
+    trace="$TMP/$name.trace"
+    timeout 60 "$CLI" faultgen -k gzip -s 256 --fault "$name" --seed 3 \
+        -o "$trace" > /dev/null
+
+    status=0
+    timeout 60 "$CLI" lint --max-wrong-path-run "$MAX_RUN" "$trace" \
+        > "$TMP/lint.out" 2>&1 || status=$?
+    case "$severity" in
+    error)
+        if [ "$status" -ne 1 ]; then
+            echo "FAIL $name: lint exit $status, want 1 (error)"
+            fail=1
+        fi
+        if ! grep -q "$code" "$TMP/lint.out"; then
+            echo "FAIL $name: lint did not report $code"
+            fail=1
+        fi
+        ;;
+    warning)
+        if [ "$status" -ne 0 ]; then
+            echo "FAIL $name: lint exit $status, want 0 (warning only)"
+            fail=1
+        fi
+        if ! grep -q "$code" "$TMP/lint.out"; then
+            echo "FAIL $name: lint did not report $code"
+            fail=1
+        fi
+        ;;
+    varies)
+        if [ "$status" -ne 0 ] && [ "$status" -ne 1 ]; then
+            echo "FAIL $name: lint exit $status (crash?)"
+            fail=1
+        fi
+        ;;
+    *)
+        echo "FAIL $name: unknown severity $severity"
+        fail=1
+        ;;
+    esac
+
+    status=0
+    timeout 60 "$CLI" simulate -t "$trace" --degraded resync \
+        > /dev/null 2>&1 || status=$?
+    if [ "$status" -ne 0 ] && [ "$status" -ne 3 ]; then
+        echo "FAIL $name: degraded simulate exit $status (0|3 expected)"
+        fail=1
+    fi
+
+    echo "ok $name ($severity${code:+, $code})"
+done < "$TMP/classes"
+
+if [ "$fail" -ne 0 ]; then
+    echo "faultsmoke: FAILED"
+    exit 1
+fi
+echo "faultsmoke: clean"

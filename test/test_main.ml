@@ -16,6 +16,7 @@ let () =
          Test_reports.suite;
          Test_sweep.suite;
          Test_check.suite;
+         Test_fault.suite;
          Test_extensions.suite;
          Test_consistency.suite;
          Test_tools.suite ])

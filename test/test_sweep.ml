@@ -84,8 +84,8 @@ let small_grid () =
 
 let test_sweep_parallel_equals_serial () =
   let grid = small_grid () in
-  let serial = Sweep.run ~jobs:1 grid in
-  let parallel = Sweep.run ~jobs:4 grid in
+  let serial = Sweep.completed (Sweep.run ~jobs:1 grid) in
+  let parallel = Sweep.completed (Sweep.run ~jobs:4 grid) in
   check int "same job count" (List.length serial) (List.length parallel);
   List.iter2
     (fun (a : Sweep.result) (b : Sweep.result) ->
@@ -113,9 +113,11 @@ let test_sweep_parallel_equals_serial () =
 
 let test_sweep_telemetry () =
   let results =
-    Sweep.run ~jobs:2
-      [ Sweep.job ~scale:(Sweep.Exact 256) ~config:Resim_core.Config.reference
-          (Resim_workloads.Workload.find "gzip") ]
+    Sweep.completed
+      (Sweep.run ~jobs:2
+         [ Sweep.job ~scale:(Sweep.Exact 256)
+             ~config:Resim_core.Config.reference
+             (Resim_workloads.Workload.find "gzip") ])
   in
   match results with
   | [ result ] ->

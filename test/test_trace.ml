@@ -176,7 +176,7 @@ let test_codec_corrupt () =
   Alcotest.check_raises "bad magic" (Codec.Corrupt "bad magic") (fun () ->
       ignore (Codec.decode "XXXXxxxxxxxxxxxxxx"));
   Alcotest.check_raises "truncated header"
-    (Codec.Corrupt "truncated header") (fun () ->
+    (Codec.Corrupt "truncated header (2 of 14 bytes)") (fun () ->
       ignore (Codec.decode "RS"))
 
 let test_codec_truncated_payload () =
