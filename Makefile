@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check lint bench faultsmoke
+.PHONY: all build test check lint bench faultsmoke obs-smoke obs-guard
 
 # Wall-clock guard on the PR gate: a hang in any step (the very class
 # of bug the robustness layer exists to prevent) fails the gate after
@@ -22,8 +22,9 @@ lint:
 	dune build @lint
 
 # The PR gate: formatting, full build, source lint, test suite, a
-# bench smoke that exercises the --json path end to end, and the
-# fault-injection smoke (every corruption class through the CLI).
+# bench smoke that exercises the --json path end to end, the
+# fault-injection smoke (every corruption class through the CLI), and
+# the observability smoke (pipetrace + metrics + schema + profile).
 check:
 	$(TIMEOUT) 300 dune build @fmt
 	$(TIMEOUT) 900 dune build
@@ -31,11 +32,24 @@ check:
 	$(TIMEOUT) 1800 dune runtest
 	$(TIMEOUT) 600 dune exec bench/main.exe -- --quick --json /dev/null
 	$(MAKE) faultsmoke
+	$(MAKE) obs-smoke
 
 # Every Fault_inject corruption class end to end through resim
 # faultgen / lint / simulate --degraded, each step under timeout.
 faultsmoke: build
 	$(TIMEOUT) 600 sh scripts/faultsmoke.sh
+
+# Observability end to end: simulate --pipetrace/--metrics/--waterfall,
+# RSM-P schema validation (clean + corrupted), resim profile.
+obs-smoke: build
+	$(TIMEOUT) 600 sh scripts/obs_smoke.sh
+
+# No-sink throughput guard: full bench grid vs the committed
+# BENCH_engine.json anchors, gated on the geometric mean (default 2%
+# tolerance; OBS_GUARD_TOLERANCE overrides). Costs a full bench run —
+# use when touching engine hot paths.
+obs-guard: build
+	$(TIMEOUT) 2400 sh scripts/obs_bench_guard.sh
 
 # Refresh the committed perf trajectory (full engine grid, no paper
 # tables; takes a few minutes).

@@ -8,7 +8,8 @@
      table      regenerate one of the paper's tables
      sweep      run the ablation grid as a domain-parallel sweep
      bench      measure engine host throughput (scan vs event scheduler)
-     lint       statically lint encoded trace files (resim-check)
+     lint       statically lint encoded trace files or pipetrace JSONL
+     profile    attribute host time/allocation to engine phases
      workloads  list the built-in kernels *)
 
 open Cmdliner
@@ -241,7 +242,8 @@ let read_file_bytes path =
 let fault_exit = 3
 
 let simulate workload scale source_file trace_file perfect_bp caches
-    max_cycles timeout checkpoint_out resume_file degraded =
+    max_cycles timeout checkpoint_out resume_file degraded pipetrace_out
+    waterfall_window metrics_out =
   let degraded_resync =
     match degraded with
     | None -> false
@@ -299,6 +301,58 @@ let simulate workload scale source_file trace_file perfect_bp caches
       Format.eprintf "degraded: skipped %s@."
         (Resim_trace.Fault.to_string fault))
     salvage_faults;
+  (* Observability sinks (DESIGN.md §11): the JSONL pipetrace streams
+     to its file as the run progresses; the waterfall renders on close.
+     Both attach through one engine observer, so without them the
+     engine keeps its observer-free hot path. *)
+  let pipetrace_channel =
+    match pipetrace_out with
+    | None -> None
+    | Some path when String.equal path "-" -> Some (path, stdout)
+    | Some path -> Some (path, open_out path)
+  in
+  let sinks =
+    (match pipetrace_channel with
+    | Some (_, channel) -> [ Resim_obs.Obs.jsonl_channel channel ]
+    | None -> [])
+    @
+    match waterfall_window with
+    | Some window -> [ Resim_obs.Obs.waterfall ~window stdout ]
+    | None -> []
+  in
+  if sinks <> [] && resume_file <> None then begin
+    Format.eprintf
+      "--pipetrace/--waterfall do not combine with --resume (the replay \
+       prefix would re-emit its events)@.";
+    exit 2
+  end;
+  let close_sinks () =
+    Resim_obs.Obs.close sinks;
+    match pipetrace_channel with
+    | Some (path, channel) when not (String.equal path "-") ->
+        close_out channel;
+        Format.printf "wrote pipetrace %s@." path
+    | Some _ | None -> ()
+  in
+  let write_metrics stats =
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        let body =
+          if Filename.check_suffix path ".csv" then
+            Resim_core.Stats.csv_header () ^ "\n"
+            ^ Resim_core.Stats.csv_row stats ^ "\n"
+          else Resim_core.Stats.to_json stats
+        in
+        if String.equal path "-" then print_string body
+        else begin
+          let channel = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out channel)
+            (fun () -> output_string channel body);
+          Format.printf "wrote metrics %s@." path
+        end
+  in
   let finish outcome =
     if salvage_faults <> [] then
       Resim_core.Stats.mark_degraded
@@ -309,7 +363,8 @@ let simulate workload scale source_file trace_file perfect_bp caches
       (fun device ->
         Format.printf "%-10s %.2f MIPS@." device.Resim_fpga.Device.name
           (Resim_core.Resim.mips outcome ~device))
-      Resim_fpga.Device.all
+      Resim_fpga.Device.all;
+    write_metrics outcome.Resim_core.Resim.stats
   in
   match resume_file with
   | Some path -> (
@@ -337,15 +392,23 @@ let simulate workload scale source_file trace_file perfect_bp caches
             fun () -> Unix.gettimeofday () > limit)
           timeout
       in
+      let instrument =
+        if sinks = [] then None
+        else Some (fun engine -> Resim_obs.Obs.attach engine sinks)
+      in
       match
         Resim_core.Resim.simulate_robust ~config ?max_cycles ?deadline
-          records
+          ?instrument records
       with
       | Error failure ->
+          (* Flush the partial pipetrace — the events up to the fault
+             are exactly what a post-mortem wants. *)
+          close_sinks ();
           Format.eprintf "simulate: %s@."
             (Resim_core.Resim.failure_to_string failure);
           exit fault_exit
       | Ok robust ->
+          close_sinks ();
           (match robust.Resim_core.Resim.stop with
           | Resim_core.Engine.Drained -> ()
           | Resim_core.Engine.Cycle_budget ->
@@ -425,12 +488,40 @@ let simulate_cmd =
                 boundary, report each skipped region and mark the \
                 statistics as degraded.")
   in
+  let pipetrace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pipetrace" ] ~docv:"FILE"
+          ~doc:"Stream the per-cycle pipetrace as JSONL to $(docv) \
+                ($(b,-) for stdout); schema-checkable with $(b,resim \
+                lint --pipetrace). Format spec in DESIGN.md §11.")
+  in
+  let waterfall =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "waterfall" ] ~docv:"N"
+          ~doc:"Render a per-instruction waterfall (Gantt view) of the \
+                first $(docv) dispatched instructions to stdout after \
+                the run.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the final engine statistics — every counter, the \
+                stall-cause taxonomy, derived ratios, width histograms \
+                — to $(docv) ($(b,-) for stdout): JSON, or a CSV \
+                header+row pair when $(docv) ends in $(b,.csv).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the ReSim timing engine")
     Term.(
       const simulate $ kernel_arg $ scale_arg $ program_arg $ trace_file
       $ perfect_bp $ caches $ max_cycles $ timeout $ checkpoint_out
-      $ resume_file $ degraded)
+      $ resume_file $ degraded $ pipetrace $ waterfall $ metrics)
 
 (* --- area ----------------------------------------------------------- *)
 
@@ -528,6 +619,81 @@ let ptrace_cmd =
              analog)")
     Term.(const ptrace $ kernel_arg $ scale_arg $ program_arg $ window)
 
+(* --- profile ---------------------------------------------------------- *)
+
+let profile workload scale source_file trace_file json =
+  let records =
+    match trace_file with
+    | Some path -> (
+        let data = read_file_bytes path in
+        match Resim_trace.Codec.decode_result data with
+        | Error error ->
+            Format.eprintf "%s: %s@." path
+              (Resim_trace.Codec.error_to_string error);
+            exit fault_exit
+        | Ok (records, _format) -> records)
+    | None ->
+        let program = program_of ?source_file workload scale in
+        Resim_tracegen.Generator.records program
+  in
+  let config = Resim_core.Config.reference in
+  ensure_valid_config ~context:"profile" config;
+  let prof = Resim_obs.Prof.create () in
+  (* The phase-probe closer charges the span still open when the run
+     ends; simulate_robust owns the engine, so capture it here. *)
+  let closer = ref (fun () -> ()) in
+  let result =
+    Resim_core.Resim.simulate_robust ~config
+      ~instrument:(fun engine ->
+        closer := Resim_obs.Prof.instrument_engine prof engine)
+      records
+  in
+  !closer ();
+  match result with
+  | Error failure ->
+      Format.eprintf "profile: %s@."
+        (Resim_core.Resim.failure_to_string failure);
+      exit fault_exit
+  | Ok robust ->
+      let stats = robust.Resim_core.Resim.outcome.Resim_core.Resim.stats in
+      Format.printf "%Ld major cycles, %Ld instructions committed@.@."
+        (Resim_core.Stats.get Resim_core.Stats.major_cycles stats)
+        (Resim_core.Stats.get Resim_core.Stats.committed stats);
+      Format.printf "%a@." Resim_obs.Prof.pp prof;
+      (match json with
+      | Some path ->
+          let channel = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out channel)
+            (fun () ->
+              output_string channel (Resim_obs.Prof.to_json prof));
+          Format.printf "wrote profile %s@." path
+      | None -> ())
+
+let profile_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "t"; "trace" ] ~docv:"FILE"
+          ~doc:"Profile a trace file instead of a kernel.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the section table as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Attribute host wall time and allocation to engine phases \
+             (phase probes; markedly slower than a bare run, ratios \
+             stay representative)")
+    Term.(
+      const profile $ kernel_arg $ scale_arg $ program_arg $ trace_file
+      $ json)
+
 (* --- vhdl ------------------------------------------------------------- *)
 
 let vhdl width rob lsq output_dir =
@@ -595,7 +761,8 @@ let dedupe_jobs jobs =
       end)
     jobs
 
-let sweep jobs quick keep_going timeout max_cycles retries =
+let sweep jobs quick keep_going timeout max_cycles retries metrics_out
+    profile_pool =
   let jobs = max 1 jobs in
   let grid =
     List.map Resim_reports.Runner.job_of_request
@@ -624,9 +791,13 @@ let sweep jobs quick keep_going timeout max_cycles retries =
   let policy =
     { Resim_sweep.Sweep.default_policy with timeout; max_cycles; retries }
   in
+  let prof =
+    if profile_pool then Some (Resim_obs.Prof.create ()) else None
+  in
   let started = Unix.gettimeofday () in
   let report =
-    Resim_sweep.Sweep.run ~strict:(not keep_going) ~policy ~jobs grid
+    Resim_sweep.Sweep.run ~strict:(not keep_going) ~policy ?prof ~jobs
+      grid
   in
   let wall = Unix.gettimeofday () -. started in
   let results = Resim_sweep.Sweep.completed report in
@@ -639,6 +810,19 @@ let sweep jobs quick keep_going timeout max_cycles retries =
   Format.printf
     "outcomes: %d ok, %d failed, %d timed out, %d truncated, %d retried@."
     counts.ok counts.failed counts.timed_out counts.truncated counts.retried;
+  Format.printf "%a@." Resim_sweep.Sweep.pp_stalls results;
+  (match metrics_out with
+  | Some path ->
+      let channel = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out channel)
+        (fun () ->
+          output_string channel (Resim_sweep.Sweep.metrics_json report));
+      Format.printf "wrote metrics %s@." path
+  | None -> ());
+  (match prof with
+  | Some prof -> Format.printf "%a@." Resim_obs.Prof.pp prof
+  | None -> ());
   if Resim_sweep.Sweep.failures report <> [] then begin
     Format.printf "%a@." Resim_sweep.Sweep.pp_failures report;
     exit 1
@@ -688,15 +872,33 @@ let sweep_cmd =
     Arg.(
       value & opt int 0
       & info [ "retries" ] ~docv:"N"
-          ~doc:"Extra attempts for failed jobs, with doubling capped \
-                backoff (with --keep-going).")
+          ~doc:"Extra attempts for crashed or timed-out jobs, with \
+                doubling capped backoff between rounds (with \
+                --keep-going). Deterministic failures — trace faults, \
+                deadlocks, invalid configurations — are never retried.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the whole-sweep metrics document to $(docv): per \
+                job its label, outcome, attempts, telemetry and full \
+                engine statistics JSON.")
+  in
+  let profile_pool =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Profile the worker pool: per-domain wait vs run time \
+                and allocation, printed after the sweep.")
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run the full ablation grid as a domain-parallel sweep")
     Term.(
       const sweep $ jobs $ quick $ keep_going $ timeout $ max_cycles
-      $ retries)
+      $ retries $ metrics $ profile_pool)
 
 (* --- bench ----------------------------------------------------------- *)
 
@@ -763,23 +965,43 @@ let bench_cmd =
 
 (* --- lint ------------------------------------------------------------ *)
 
-let lint trace_files max_run =
+let lint trace_files max_run pipetrace =
   let failed = ref false in
+  let lint_binary path =
+    let report = Check.Trace.lint_file ?max_wrong_path_run:max_run path in
+    let diagnostics = report.Check.Trace.diagnostics in
+    Format.printf "%s: %s (%d record(s), %d wrong-path in %d block(s)%s)@."
+      path
+      (Check.Diagnostic.summary diagnostics)
+      report.records_checked report.wrong_path_records
+      report.wrong_path_blocks
+      (match report.format with
+       | Some Resim_trace.Codec.Fixed -> ", fixed encoding"
+       | Some Resim_trace.Codec.Compact -> ", compact encoding"
+       | None -> "");
+    diagnostics
+  in
+  let lint_pipetrace path =
+    let report = Check.Obs.lint_file path in
+    let diagnostics = report.Check.Obs.diagnostics in
+    Format.printf "%s: %s (%d line(s)%s)@." path
+      (Check.Diagnostic.summary diagnostics)
+      report.lines_checked
+      (match report.events with
+       | [] -> ""
+       | events ->
+           ", "
+           ^ String.concat " "
+               (List.map
+                  (fun (kind, count) -> Printf.sprintf "%s:%d" kind count)
+                  events));
+    diagnostics
+  in
   List.iter
     (fun path ->
-      let report =
-        Check.Trace.lint_file ?max_wrong_path_run:max_run path
+      let diagnostics =
+        if pipetrace then lint_pipetrace path else lint_binary path
       in
-      let diagnostics = report.Check.Trace.diagnostics in
-      Format.printf "%s: %s (%d record(s), %d wrong-path in %d block(s)%s)@."
-        path
-        (Check.Diagnostic.summary diagnostics)
-        report.records_checked report.wrong_path_records
-        report.wrong_path_blocks
-        (match report.format with
-         | Some Resim_trace.Codec.Fixed -> ", fixed encoding"
-         | Some Resim_trace.Codec.Compact -> ", compact encoding"
-         | None -> "");
       if diagnostics <> [] then
         Format.printf "%a@." Check.Diagnostic.pp_list diagnostics;
       if Check.Diagnostic.has_errors diagnostics then failed := true)
@@ -800,11 +1022,21 @@ let lint_cmd =
           ~doc:"Longest legal wrong-path run before RSM-T007 fires \
                 (default 4096).")
   in
+  let pipetrace =
+    Arg.(
+      value & flag
+      & info [ "pipetrace" ]
+          ~doc:"The files are pipetrace JSONL streams (from $(b,resim \
+                simulate --pipetrace)); validate them against the \
+                schema (RSM-P codes) instead of decoding binary \
+                traces.")
+  in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Statically lint encoded trace files (resim-check layer 2); \
-             exits 1 when any trace has errors")
-    Term.(const lint $ traces $ max_run)
+       ~doc:"Statically lint encoded trace files (resim-check layer 2) \
+             or pipetrace JSONL streams (layer 4); exits 1 when any \
+             file has errors")
+    Term.(const lint $ traces $ max_run $ pipetrace)
 
 (* --- workloads ------------------------------------------------------- *)
 
@@ -832,4 +1064,5 @@ let () =
        (Cmd.group info
           [ tracegen_cmd; faultgen_cmd; simulate_cmd; area_cmd;
             schedule_cmd; table_cmd; sweep_cmd; bench_cmd; lint_cmd;
-            disasm_cmd; vhdl_cmd; ptrace_cmd; workloads_cmd ]))
+            disasm_cmd; vhdl_cmd; ptrace_cmd; profile_cmd;
+            workloads_cmd ]))

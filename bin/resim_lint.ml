@@ -18,6 +18,10 @@
                Array.of_list, Printf.sprintf, Format.asprintf, ...) in
                hot files — per-cycle work uses preallocated scratch
                buffers.
+     RSM-L005  unguarded observer-sink calls ([notify]) in hot files —
+               every hot-path emission site must sit behind the
+               observer test ([if observed t then notify t ...]), so
+               the zero-sink run never constructs an event.
 
    Two escape hatches keep the rules honest rather than absolute:
 
@@ -96,6 +100,13 @@ let is_polymorphic_builtin lid =
   | [ "Stdlib"; ("compare" | "min" | "max") ] ->
       true
   | _ -> false
+
+(* The engine's observer emitter. Any expression-position mention in a
+   live hot context — application, partial application, being passed as
+   a closure — is flagged; the guarded form puts the mention inside an
+   observer-tested branch, which the cold-context machinery exempts. *)
+let is_sink_call lid =
+  match flatten lid with [ "notify" ] -> true | _ -> false
 
 let is_allocating_call lid =
   match flatten lid with
@@ -206,6 +217,10 @@ let check_node ctx (expr : Parsetree.expression) =
              "`%s` allocates per call; hot paths use preallocated scratch \
               buffers"
              (dotted txt))
+      else if hot_live && is_sink_call txt then
+        report ctx ~line ~code:"RSM-L005"
+          "unguarded `notify` constructs an event even with no sink \
+           attached; wrap the call site in `if observed t then ...`"
   | Pexp_apply
       ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ };
           _ },

@@ -6,3 +6,4 @@
 module Diagnostic = Diagnostic
 module Config = Config_check
 module Trace = Trace_check
+module Obs = Obs_check

@@ -11,3 +11,6 @@
 module Diagnostic = Diagnostic
 module Config = Config_check
 module Trace = Trace_check
+
+module Obs = Obs_check
+(** Layer 4: the pipetrace JSONL schema validator (RSM-P001..P004). *)

@@ -27,7 +27,41 @@ let pp_deadlock ppf d =
    banned on hot paths by lint rule RSM-L002. *)
 let[@inline] imax (a : int) b = if a >= b then a else b
 
-(* Observable pipeline events, for tracing tools (Pipeline_trace). *)
+(* Why the pipeline lost a slot or a cycle — the stall-cause taxonomy
+   of the observability layer (DESIGN.md §11). Events carrying these are
+   emitted at exactly the sites that bump the matching Stats counters,
+   all shared between the Scan and Event schedulers (or proven
+   visit-identical by the differential suite), so stall streams are
+   bit-identical across schedulers. *)
+type stall_reason =
+  | Stall_ifq_empty        (* dispatch starved: nothing decoupled *)
+  | Stall_rob_full
+  | Stall_lsq_full
+  | Stall_fu_busy          (* ready instruction, no free unit *)
+  | Stall_read_port
+  | Stall_write_port
+  | Stall_icache           (* fetch waiting out an icache miss *)
+  | Stall_misfetch_recovery
+  | Stall_mispredict_recovery
+
+let all_stall_reasons =
+  [ Stall_ifq_empty; Stall_rob_full; Stall_lsq_full; Stall_fu_busy;
+    Stall_read_port; Stall_write_port; Stall_icache;
+    Stall_misfetch_recovery; Stall_mispredict_recovery ]
+
+let stall_reason_name = function
+  | Stall_ifq_empty -> "ifq-empty"
+  | Stall_rob_full -> "rob-full"
+  | Stall_lsq_full -> "lsq-full"
+  | Stall_fu_busy -> "fu-busy"
+  | Stall_read_port -> "rd-port"
+  | Stall_write_port -> "wr-port"
+  | Stall_icache -> "icache"
+  | Stall_misfetch_recovery -> "misfetch"
+  | Stall_mispredict_recovery -> "mispredict"
+
+(* Observable pipeline events, for tracing tools (Pipeline_trace and
+   the Obs sinks). *)
 type event =
   | Ev_fetch of Trace.Record.t
   | Ev_dispatch of Entry.t
@@ -36,6 +70,39 @@ type event =
   | Ev_commit of Entry.t
   | Ev_squash of Entry.t
   | Ev_flush_frontend
+  | Ev_stall of stall_reason
+
+(* Host-profiling hook: which engine phase is about to run. [Ph_account]
+   closes the cycle (occupancy sampling and counters). The probe fires
+   once per phase per cycle only when installed; the idle path is a
+   single physical-equality test. *)
+type phase =
+  | Ph_commit
+  | Ph_writeback
+  | Ph_issue
+  | Ph_dispatch
+  | Ph_decouple
+  | Ph_fetch
+  | Ph_account
+
+let phase_name = function
+  | Ph_commit -> "commit"
+  | Ph_writeback -> "writeback"
+  | Ph_issue -> "issue"
+  | Ph_dispatch -> "dispatch"
+  | Ph_decouple -> "decouple"
+  | Ph_fetch -> "fetch"
+  | Ph_account -> "account"
+
+let all_phases =
+  [ Ph_commit; Ph_writeback; Ph_issue; Ph_dispatch; Ph_decouple; Ph_fetch;
+    Ph_account ]
+
+(* Which event set the pending fetch stall, attributing each burned
+   penalty cycle to its cause. Icache extra cycles are charged to
+   [icache_stall_cycles] at grant time; the other two accumulate into
+   the recovery counters as the stall burns down. *)
+type recovery_source = Recover_icache | Recover_misfetch | Recover_mispredict
 
 type fetch_mode =
   | Normal
@@ -82,9 +149,11 @@ type t = {
   stats : Stats.t;
   mutable cycle : int64;
   mutable fetch_stall : int;
+  mutable fetch_stall_source : recovery_source;
   mutable fetch_mode : fetch_mode;
   mutable last_fetch_block : int;
   mutable observer : (event -> unit) option;
+  mutable phase_probe : (phase -> unit) option;
 }
 
 let create_from_source ?(config = Config.reference) source =
@@ -121,9 +190,11 @@ let create_from_source ?(config = Config.reference) source =
     stats = Stats.create ();
     cycle = 0L;
     fetch_stall = 0;
+    fetch_stall_source = Recover_mispredict;
     fetch_mode = Normal;
     last_fetch_block = -1;
-    observer = None }
+    observer = None;
+    phase_probe = None }
 
 let create ?config trace = create_from_source ?config (Source.of_array trace)
 
@@ -149,6 +220,19 @@ let notify t event =
    constructor argument would otherwise box on every instruction even
    with no observer attached. *)
 let[@inline] observed t = t.observer != None
+
+(* Charge a stall: bump the matching counter and, when an observer is
+   attached, emit the taxonomy event. The unobserved path constructs
+   nothing. *)
+let[@inline] charge_stall t counter reason =
+  Stats.incr t.stats counter;
+  if observed t then notify t (Ev_stall reason)
+
+let set_phase_probe t probe = t.phase_probe <- Some probe
+let clear_phase_probe t = t.phase_probe <- None
+
+let[@inline] probe t ph =
+  match t.phase_probe with Some f -> f ph | None -> ()
 
 let record_at t index = Source.at t.source index
 
@@ -272,7 +356,12 @@ let squash t (branch : Entry.t) =
   in
   skip_tagged ();
   t.fetch_mode <- Normal;
-  t.fetch_stall <- imax t.fetch_stall t.config.misspeculation_penalty;
+  (* imax semantics, tracking which cause owns the pending stall: a new
+     penalty takes over attribution only when strictly larger. *)
+  if t.config.misspeculation_penalty > t.fetch_stall then begin
+    t.fetch_stall <- t.config.misspeculation_penalty;
+    t.fetch_stall_source <- Recover_mispredict
+  end;
   t.last_fetch_block <- -1
 
 (* ------------------------------------------------------------------ *)
@@ -307,7 +396,7 @@ let commit_phase t =
           let entry_commits =
             if Entry.is_store entry then begin
               if !write_ports_used >= t.config.mem_write_ports then begin
-                Stats.incr t.stats Stats.write_port_stalls;
+                charge_stall t Stats.write_port_stalls Stall_write_port;
                 blocked := true;
                 false
               end
@@ -480,16 +569,27 @@ let try_issue t ~reads_used (entry : Entry.t) =
           | Trace.Record.Mult -> Fu.Mult
           | Trace.Record.Divide -> Fu.Div
         in
-        Fu.try_allocate t.fu request ~now
+        let verdict = Fu.try_allocate t.fu request ~now in
+        if verdict < 0 then
+          charge_stall t Stats.fu_busy_stalls Stall_fu_busy;
+        verdict
       end
   | Trace.Record.Branch _ ->
       if not (Entry.sources_ready entry) then verdict_not_ready
-      else Fu.try_allocate t.fu Fu.Alu ~now
+      else begin
+        let verdict = Fu.try_allocate t.fu Fu.Alu ~now in
+        if verdict < 0 then
+          charge_stall t Stats.fu_busy_stalls Stall_fu_busy;
+        verdict
+      end
   | Trace.Record.Memory { is_load = false; _ } ->
       (* Store: address generation on an ALU; memory write at commit. *)
       if not (Entry.sources_ready entry) then verdict_not_ready
       else if Fu.try_allocate t.fu Fu.Alu ~now >= 0 then 1
-      else verdict_no_unit
+      else begin
+        charge_stall t Stats.fu_busy_stalls Stall_fu_busy;
+        verdict_no_unit
+      end
   | Trace.Record.Memory { is_load = true; address } -> (
       match entry.load_readiness with
       | Entry.Load_not_checked | Entry.Load_blocked -> verdict_not_ready
@@ -498,10 +598,13 @@ let try_issue t ~reads_used (entry : Entry.t) =
             entry.forwarded <- true;
             1
           end
-          else verdict_no_unit
+          else begin
+            charge_stall t Stats.fu_busy_stalls Stall_fu_busy;
+            verdict_no_unit
+          end
       | Entry.Load_needs_port ->
           if !reads_used >= t.config.mem_read_ports then begin
-            Stats.incr t.stats Stats.read_port_stalls;
+            charge_stall t Stats.read_port_stalls Stall_read_port;
             verdict_no_unit
           end
           else if Fu.try_allocate t.fu Fu.Alu ~now >= 0 then begin
@@ -511,7 +614,10 @@ let try_issue t ~reads_used (entry : Entry.t) =
             in
             1 + access
           end
-          else verdict_no_unit)
+          else begin
+            charge_stall t Stats.fu_busy_stalls Stall_fu_busy;
+            verdict_no_unit
+          end)
 
 let issue_entry t entry ~latency =
   entry.Entry.state <- Entry.Issued;
@@ -632,17 +738,22 @@ let dispatch_phase t =
   let count = ref 0 in
   let blocked = ref false in
   while (not !blocked) && !count < t.config.width do
-    if Ring.is_empty t.decouple then blocked := true
+    if Ring.is_empty t.decouple then begin
+      (* Dispatch ends under-filled with nothing decoupled: front-end
+         starvation, one charge per stalled cycle. *)
+      charge_stall t Stats.ifq_empty_stalls Stall_ifq_empty;
+      blocked := true
+    end
     else begin
       let fetched = Ring.front t.decouple in
         if Rob.is_full t.rob then begin
-          Stats.incr t.stats Stats.rob_full_stalls;
+          charge_stall t Stats.rob_full_stalls Stall_rob_full;
           blocked := true
         end
         else if
           Trace.Record.is_memory fetched.record && Lsq.is_full t.lsq
         then begin
-          Stats.incr t.stats Stats.lsq_full_stalls;
+          charge_stall t Stats.lsq_full_stalls Stall_lsq_full;
           blocked := true
         end
         else begin
@@ -729,7 +840,10 @@ let fetch_control t (record : Trace.Record.t) ~kind ~taken ~target =
     in
     if misfetch then begin
       Stats.incr t.stats Stats.misfetches;
-      t.fetch_stall <- imax t.fetch_stall t.config.misfetch_penalty
+      if t.config.misfetch_penalty > t.fetch_stall then begin
+        t.fetch_stall <- t.config.misfetch_penalty;
+        t.fetch_stall_source <- Recover_misfetch
+      end
     end
    | Some _ | None -> ());
   let ras_repair =
@@ -742,7 +856,22 @@ let fetch_control t (record : Trace.Record.t) ~kind ~taken ~target =
 let fetch_phase t =
   if t.fetch_stall > 0 then begin
     t.fetch_stall <- t.fetch_stall - 1;
-    Stats.incr t.stats Stats.fetch_penalty_cycles
+    Stats.incr t.stats Stats.fetch_penalty_cycles;
+    (* Attribute the burned cycle. Icache misses are already charged to
+       icache_stall_cycles in full at grant time; the recovery counters
+       split the remaining penalty cycles per cause. *)
+    (match t.fetch_stall_source with
+    | Recover_icache -> ()
+    | Recover_misfetch -> Stats.incr t.stats Stats.misfetch_recovery_cycles
+    | Recover_mispredict ->
+        Stats.incr t.stats Stats.mispredict_recovery_cycles);
+    if observed t then
+      notify t
+        (Ev_stall
+           (match t.fetch_stall_source with
+           | Recover_icache -> Stall_icache
+           | Recover_misfetch -> Stall_misfetch_recovery
+           | Recover_mispredict -> Stall_mispredict_recovery))
   end
   else begin
     Source.release_below t.source t.cursor;
@@ -781,6 +910,7 @@ let fetch_phase t =
               in
               if extra > 0 then begin
                 t.fetch_stall <- extra;
+                t.fetch_stall_source <- Recover_icache;
                 Stats.add t.stats Stats.icache_stall_cycles extra;
                 true
               end
@@ -815,20 +945,29 @@ let fetch_phase t =
 
 let step t =
   if not (finished t) then begin
+    probe t Ph_commit;
     commit_phase t;
     (match t.config.scheduler with
     | Config.Scan ->
+        probe t Ph_writeback;
         writeback_phase_scan t;
         Lsq.refresh t.lsq;
+        probe t Ph_issue;
         issue_phase_scan t
     | Config.Event ->
         (* LSQ readiness is maintained incrementally by the commit,
            wakeup and dispatch hooks — no per-cycle refresh. *)
+        probe t Ph_writeback;
         writeback_phase_event t;
+        probe t Ph_issue;
         issue_phase_event t);
+    probe t Ph_dispatch;
     dispatch_phase t;
+    probe t Ph_decouple;
     decouple_phase t;
+    probe t Ph_fetch;
     fetch_phase t;
+    probe t Ph_account;
     Stats.sample_occupancy t.stats ~ifq:(Ring.length t.ifq)
       ~rob:(Rob.length t.rob) ~lsq:(Lsq.length t.lsq);
     t.cycle <- Int64.add t.cycle 1L;

@@ -24,9 +24,36 @@
 
 type t
 
+(** Why the pipeline lost a slot or a cycle — the stall-cause taxonomy
+    of the observability layer (DESIGN.md §11). Each constructor maps
+    one-to-one onto a {!Stats} counter and is emitted at exactly the
+    sites that bump it, so stall streams are bit-identical between the
+    Scan and Event schedulers. *)
+type stall_reason =
+  | Stall_ifq_empty
+      (** dispatch under-filled: nothing decoupled (front-end
+          starvation), charged once per stalled cycle *)
+  | Stall_rob_full
+  | Stall_lsq_full
+  | Stall_fu_busy
+      (** source-ready instruction found every eligible unit busy,
+          charged once per candidate visit *)
+  | Stall_read_port
+  | Stall_write_port
+  | Stall_icache  (** fetch burning an icache-miss stall cycle *)
+  | Stall_misfetch_recovery
+  | Stall_mispredict_recovery
+
+val stall_reason_name : stall_reason -> string
+(** Stable short name ("ifq-empty", "rob-full", ... ) used by the
+    pipetrace JSONL format and metrics reports. *)
+
+val all_stall_reasons : stall_reason list
+(** Every reason once, in taxonomy order. *)
+
 (** Pipeline events observable through {!set_observer}; the hook for
-    tracing tools such as {!Pipeline_trace}. Entries are live engine
-    state — read, never mutate. *)
+    tracing tools such as {!Pipeline_trace} and the [Resim_obs] sinks.
+    Entries are live engine state — read, never mutate. *)
 type event =
   | Ev_fetch of Resim_trace.Record.t
   | Ev_dispatch of Entry.t
@@ -36,6 +63,23 @@ type event =
   | Ev_squash of Entry.t
   | Ev_flush_frontend
       (** a squash emptied the IFQ and decouple buffer *)
+  | Ev_stall of stall_reason
+
+(** Engine phase about to run, reported to the {!set_phase_probe} hook
+    once per phase per cycle. [Ph_account] closes the cycle (occupancy
+    sampling and cycle counters). *)
+type phase =
+  | Ph_commit
+  | Ph_writeback
+  | Ph_issue
+  | Ph_dispatch
+  | Ph_decouple
+  | Ph_fetch
+  | Ph_account
+
+val phase_name : phase -> string
+val all_phases : phase list
+(** Every phase once, in within-cycle order. *)
 
 val create : ?config:Config.t -> Resim_trace.Record.t array -> t
 (** Raises [Invalid_argument] when the configuration does not
@@ -61,7 +105,16 @@ val predictor : t -> Resim_bpred.Predictor.t
 
 val set_observer : t -> (event -> unit) -> unit
 (** Install the (single) event observer. Events fire in pipeline order
-    within a cycle. *)
+    within a cycle. With no observer installed the hot paths construct
+    no events — the zero-sink run costs one pointer test per site. *)
+
+val set_phase_probe : t -> (phase -> unit) -> unit
+(** Install the host-profiling probe, called at the start of every
+    engine phase of every cycle ({!Resim_obs.Prof} attributes wall time
+    and allocation between consecutive calls). The engine never reads
+    the clock itself. *)
+
+val clear_phase_probe : t -> unit
 
 val cycle : t -> int64
 (** Major cycles elapsed. *)

@@ -70,6 +70,10 @@ let observe t event =
   | Engine.Ev_squash entry ->
       if Hashtbl.mem t.slots entry.Entry.id then
         record t ~id:entry.Entry.id ~pc:0 ~wrong:false Squashed
+  | Engine.Ev_stall _ ->
+      (* Stall causes are the Obs pipetrace's concern, not the
+         per-instruction window trace. *)
+      ()
 
 let create ?(window = 64) engine =
   let t =

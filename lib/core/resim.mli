@@ -65,11 +65,16 @@ val simulate_robust :
   ?watchdog:int ->
   ?max_cycles:int64 ->
   ?deadline:(unit -> bool) ->
+  ?instrument:(Engine.t -> unit) ->
   Resim_trace.Record.t array ->
   (robust, failure) result
 (** {!simulate_trace} under fault domains: trace faults and deadlocks
     come back as [Error]; cycle/wall-clock budgets truncate gracefully
-    with partial statistics and a resume checkpoint. *)
+    with partial statistics and a resume checkpoint. [instrument] runs
+    on the freshly created engine before the first cycle, so callers
+    can attach observability sinks ({!Engine.set_observer}) or phase
+    probes ({!Engine.set_phase_probe}) without building the engine
+    themselves. *)
 
 val resume_trace :
   ?config:Config.t ->

@@ -26,6 +26,13 @@ type t = {
   lsq_full_stalls : counter;
   write_port_stalls : counter;
   read_port_stalls : counter;
+  (* Stall-cause taxonomy for the observability layer: front-end
+     starvation, structural-hazard issue stalls and per-cause recovery
+     attribution of the fetch penalty cycles. *)
+  ifq_empty_stalls : counter;
+  fu_busy_stalls : counter;
+  misfetch_recovery_cycles : counter;
+  mispredict_recovery_cycles : counter;
   (* Faults survived in degraded mode (codec resyncs, salvage decodes):
      non-zero marks every derived figure as approximate. *)
   degraded_faults : counter;
@@ -59,6 +66,10 @@ let create () =
     lsq_full_stalls = ref 0;
     write_port_stalls = ref 0;
     read_port_stalls = ref 0;
+    ifq_empty_stalls = ref 0;
+    fu_busy_stalls = ref 0;
+    misfetch_recovery_cycles = ref 0;
+    mispredict_recovery_cycles = ref 0;
     degraded_faults = ref 0;
     commit_width = Histogram.create ~bins:17;
     issue_width = Histogram.create ~bins:17;
@@ -91,6 +102,10 @@ let rob_full_stalls t = t.rob_full_stalls
 let lsq_full_stalls t = t.lsq_full_stalls
 let write_port_stalls t = t.write_port_stalls
 let read_port_stalls t = t.read_port_stalls
+let ifq_empty_stalls t = t.ifq_empty_stalls
+let fu_busy_stalls t = t.fu_busy_stalls
+let misfetch_recovery_cycles t = t.misfetch_recovery_cycles
+let mispredict_recovery_cycles t = t.mispredict_recovery_cycles
 let degraded_faults t = t.degraded_faults
 
 let mark_degraded ?(faults = 1) t =
@@ -148,7 +163,105 @@ let to_assoc t =
       ("lsq_full_stalls", !(t.lsq_full_stalls));
       ("write_port_stalls", !(t.write_port_stalls));
       ("read_port_stalls", !(t.read_port_stalls));
+      ("ifq_empty_stalls", !(t.ifq_empty_stalls));
+      ("fu_busy_stalls", !(t.fu_busy_stalls));
+      ("misfetch_recovery_cycles", !(t.misfetch_recovery_cycles));
+      ("mispredict_recovery_cycles", !(t.mispredict_recovery_cycles));
       ("degraded_faults", !(t.degraded_faults)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics export: the observability layer's machine-readable view.
+   [stall_causes] is the stable taxonomy (DESIGN.md §11) consumed by
+   `resim simulate --metrics`, the sweep report and `bench --json`;
+   [to_json]/[csv_row] are the stable emitters. Every derived ratio
+   guards the zero-cycle case, so metrics from an empty or fully
+   truncated run are well-formed zeros rather than NaN/inf. *)
+
+let stall_causes t =
+  [ ("ifq_empty", Int64.of_int !(t.ifq_empty_stalls));
+    ("rob_full", Int64.of_int !(t.rob_full_stalls));
+    ("lsq_full", Int64.of_int !(t.lsq_full_stalls));
+    ("fu_busy", Int64.of_int !(t.fu_busy_stalls));
+    ("rd_port", Int64.of_int !(t.read_port_stalls));
+    ("wr_port", Int64.of_int !(t.write_port_stalls));
+    ("icache", Int64.of_int !(t.icache_stall_cycles));
+    ("misfetch_recovery", Int64.of_int !(t.misfetch_recovery_cycles));
+    ("mispredict_recovery", Int64.of_int !(t.mispredict_recovery_cycles)) ]
+
+let fetch_penalty_fraction t =
+  ratio !(t.fetch_penalty_cycles) !(t.major_cycles)
+
+let commit_starved_fraction t =
+  (* Major cycles that committed nothing — the paper's first question
+     when localizing lost throughput. *)
+  if Int64.equal (Histogram.total t.commit_width) 0L then 0.0
+  else Histogram.fraction_at t.commit_width 0
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let add_histogram buffer histogram =
+  Buffer.add_char buffer '[';
+  let first = ref true in
+  for value = 0 to Histogram.bins histogram - 1 do
+    let count = Histogram.count histogram value in
+    if not (Int64.equal count 0L) then begin
+      if not !first then Buffer.add_string buffer ", ";
+      first := false;
+      Buffer.add_string buffer
+        (Printf.sprintf "{\"value\": %d, \"count\": %Ld}" value count)
+    end
+  done;
+  Buffer.add_char buffer ']'
+
+let to_json t =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n  \"counters\": {";
+  List.iteri
+    (fun index (name, value) ->
+      if index > 0 then Buffer.add_string buffer ", ";
+      Buffer.add_string buffer
+        (Printf.sprintf "\"%s\": %Ld" (json_escape name) value))
+    (to_assoc t);
+  Buffer.add_string buffer "},\n  \"stall_causes\": {";
+  List.iteri
+    (fun index (name, value) ->
+      if index > 0 then Buffer.add_string buffer ", ";
+      Buffer.add_string buffer (Printf.sprintf "\"%s\": %Ld" name value))
+    (stall_causes t);
+  Buffer.add_string buffer "},\n  \"derived\": {";
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "\"ipc\": %.6f, \"fetched_per_cycle\": %.6f, \
+        \"fetch_penalty_fraction\": %.6f, \"commit_starved_fraction\": %.6f, \
+        \"mean_ifq_occupancy\": %.6f, \"mean_rob_occupancy\": %.6f, \
+        \"mean_lsq_occupancy\": %.6f"
+       (ipc t) (fetched_per_cycle t) (fetch_penalty_fraction t)
+       (commit_starved_fraction t) (mean_ifq_occupancy t)
+       (mean_rob_occupancy t) (mean_lsq_occupancy t));
+  Buffer.add_string buffer "},\n  \"commit_width\": ";
+  add_histogram buffer t.commit_width;
+  Buffer.add_string buffer ",\n  \"issue_width\": ";
+  add_histogram buffer t.issue_width;
+  Buffer.add_string buffer
+    (Printf.sprintf ",\n  \"degraded\": %b\n}\n" (degraded t));
+  Buffer.contents buffer
+
+let csv_header () = String.concat "," (List.map fst (to_assoc (create ())))
+
+let csv_row t =
+  String.concat "," (List.map (fun (_, v) -> Int64.to_string v) (to_assoc t))
 
 let pp ppf t =
   if degraded t then
@@ -161,8 +274,10 @@ let pp ppf t =
      branches: %d committed (%d conditional), %d squashes, %d misfetches@,\
      memory: %d loads (%d forwarded), %d stores@,\
      long ops: %d mult/div@,\
-     stalls: %d rob-full, %d lsq-full, %d rd-port, %d wr-port@,\
-     fetch: %d icache-stall cycles, %d penalty cycles@,\
+     stalls: %d rob-full, %d lsq-full, %d rd-port, %d wr-port, \
+     %d ifq-empty, %d fu-busy@,\
+     fetch: %d icache-stall cycles, %d penalty cycles \
+     (%d misfetch, %d mispredict recovery)@,\
      occupancy: IFQ %.2f, ROB %.2f, LSQ %.2f@,\
      commit width: %a@,\
      issue width: %a@]"
@@ -172,7 +287,9 @@ let pp ppf t =
     !(t.mispredictions) !(t.misfetches) !(t.committed_loads)
     !(t.forwarded_loads) !(t.committed_stores) !(t.committed_mult_div)
     !(t.rob_full_stalls) !(t.lsq_full_stalls) !(t.read_port_stalls)
-    !(t.write_port_stalls) !(t.icache_stall_cycles)
-    !(t.fetch_penalty_cycles) (mean_ifq_occupancy t) (mean_rob_occupancy t)
+    !(t.write_port_stalls) !(t.ifq_empty_stalls) !(t.fu_busy_stalls)
+    !(t.icache_stall_cycles) !(t.fetch_penalty_cycles)
+    !(t.misfetch_recovery_cycles) !(t.mispredict_recovery_cycles)
+    (mean_ifq_occupancy t) (mean_rob_occupancy t)
     (mean_lsq_occupancy t) Histogram.pp t.commit_width Histogram.pp
     t.issue_width

@@ -46,6 +46,24 @@ val lsq_full_stalls : t -> counter
 val write_port_stalls : t -> counter
 val read_port_stalls : t -> counter
 
+val ifq_empty_stalls : t -> counter
+(** Cycles dispatch under-filled because the front end had nothing
+    decoupled — front-end starvation. *)
+
+val fu_busy_stalls : t -> counter
+(** Issue attempts on a source-ready instruction that found every
+    eligible functional unit busy (structural hazard; one bump per
+    candidate visit, so a starved instruction counts once per cycle). *)
+
+val misfetch_recovery_cycles : t -> counter
+(** Fetch penalty cycles attributed to misfetch recovery. *)
+
+val mispredict_recovery_cycles : t -> counter
+(** Fetch penalty cycles attributed to misprediction (squash)
+    recovery. Together with {!misfetch_recovery_cycles} these
+    attribute {!fetch_penalty_cycles} per cause; icache-miss cycles are
+    already attributed by {!icache_stall_cycles}. *)
+
 val degraded_faults : t -> counter
 (** Faults survived in degraded mode (codec resyncs, salvage decodes). *)
 
@@ -92,5 +110,29 @@ val get_int : (t -> counter) -> t -> int
 val to_assoc : t -> (string * int64) list
 (** Every counter as a (name, value) pair, for CSV/JSON export and for
     whole-state comparisons in tests. *)
+
+(** {1 Metrics export (observability layer)} *)
+
+val stall_causes : t -> (string * int64) list
+(** The stall-cause taxonomy (DESIGN.md §11) in stable order:
+    ifq_empty, rob_full, lsq_full, fu_busy, rd_port, wr_port, icache,
+    misfetch_recovery, mispredict_recovery. *)
+
+val fetch_penalty_fraction : t -> float
+(** Fetch penalty cycles over major cycles; 0 on a zero-cycle run. *)
+
+val commit_starved_fraction : t -> float
+(** Fraction of major cycles that committed nothing; 0 on a zero-cycle
+    run. *)
+
+val to_json : t -> string
+(** The stable metrics document: every counter, the stall-cause
+    taxonomy, zero-guarded derived ratios and the width histograms.
+    Consumed by [resim simulate --metrics] and the sweep/bench
+    exporters. *)
+
+val csv_header : unit -> string
+val csv_row : t -> string
+(** One CSV line per run, columns exactly {!to_assoc} order. *)
 
 val pp : Format.formatter -> t -> unit

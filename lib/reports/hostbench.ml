@@ -13,6 +13,7 @@ type measurement = {
   runs : int;
   ns_per_run : float;
   host_mips : float;
+  stall_causes : (string * int64) list;
 }
 
 let configurations =
@@ -115,7 +116,8 @@ let measure ?(quick = false) () =
                 cycles = Stats.get Stats.major_cycles !stats;
                 runs;
                 ns_per_run;
-                host_mips })
+                host_mips;
+                stall_causes = Stats.stall_causes !stats })
             schedulers)
         configurations)
     (grid ~quick)
@@ -206,18 +208,24 @@ let to_json ?sweep_outcomes measurements =
   Buffer.add_string buffer "  \"measurements\": [\n";
   List.iteri
     (fun index m ->
+      let stalls =
+        String.concat ", "
+          (List.map
+             (fun (name, value) -> Printf.sprintf "\"%s\": %Ld" name value)
+             m.stall_causes)
+      in
       Buffer.add_string buffer
         (Printf.sprintf
            "    {\"kernel\": \"%s\", \"scale\": %s, \"config\": \"%s\", \
             \"scheduler\": \"%s\", \"instructions\": %d, \"records\": %d, \
             \"cycles\": %Ld, \"runs\": %d, \"ns_per_run\": %.0f, \
-            \"host_mips\": %.4f}%s\n"
+            \"host_mips\": %.4f, \"stalls\": {%s}}%s\n"
            (json_escape m.kernel)
            (match m.scale with Some s -> string_of_int s | None -> "null")
            (json_escape m.config_name)
            (json_escape m.scheduler)
            m.instructions m.record_count m.cycles m.runs m.ns_per_run
-           m.host_mips
+           m.host_mips stalls
            (if index = List.length measurements - 1 then "" else ",")))
     measurements;
   Buffer.add_string buffer "  ],\n";

@@ -18,6 +18,9 @@ type measurement = {
   runs : int;                  (** timed repetitions (best is kept) *)
   ns_per_run : float;
   host_mips : float;
+  stall_causes : (string * int64) list;
+      (** {!Resim_core.Stats.stall_causes} of the measured run — the
+          same simulated work every timed repetition re-does *)
 }
 
 val measure : ?quick:bool -> unit -> measurement list

@@ -17,28 +17,42 @@ type t = {
   mutable stopped : bool;
   mutable workers : unit Domain.t array;
   jobs : int;
+  prof : Resim_obs.Prof.t option;
 }
 
 let jobs t = t.jobs
 
 let worker pool () =
-  let rec loop () =
+  let take () =
     Mutex.lock pool.mutex;
     while Queue.is_empty pool.queue && not pool.stopping do
       Condition.wait pool.pending pool.mutex
     done;
-    match Queue.take_opt pool.queue with
-    | None ->
-        (* Stopping and drained. *)
-        Mutex.unlock pool.mutex
+    (* [None] only when stopping and drained. *)
+    let thunk = Queue.take_opt pool.queue in
+    Mutex.unlock pool.mutex;
+    thunk
+  in
+  (* With a profile attached, charge queue-wait and thunk-run time to
+     pool/* sections (Prof is mutex-guarded, so worker domains share
+     one profile safely). Without one, the loop reads no clock. *)
+  let take, run =
+    match pool.prof with
+    | None -> (take, fun thunk -> thunk ())
+    | Some prof ->
+        ( (fun () -> Resim_obs.Prof.time prof "pool/wait" take),
+          fun thunk -> Resim_obs.Prof.time prof "pool/run" thunk )
+  in
+  let rec loop () =
+    match take () with
+    | None -> ()
     | Some thunk ->
-        Mutex.unlock pool.mutex;
-        thunk ();
+        run thunk;
         loop ()
   in
   loop ()
 
-let create ~jobs =
+let create ?prof ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let pool =
     { queue = Queue.create ();
@@ -47,7 +61,8 @@ let create ~jobs =
       stopping = false;
       stopped = false;
       workers = [||];
-      jobs }
+      jobs;
+      prof }
   in
   pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool));
   pool
@@ -106,15 +121,20 @@ let shutdown pool =
     Array.iter Domain.join pool.workers
   end
 
-let with_pool ~jobs f =
-  let pool = create ~jobs in
+let with_pool ?prof ~jobs f =
+  let pool = create ?prof ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let map ~jobs f input =
+let map ?prof ~jobs f input =
   let n = Array.length input in
-  if jobs <= 1 || n <= 1 then Array.map f input
+  if jobs <= 1 || n <= 1 then
+    match prof with
+    | None -> Array.map f input
+    | Some prof ->
+        Array.map (fun x -> Resim_obs.Prof.time prof "pool/run" (fun () -> f x))
+          input
   else
-    with_pool ~jobs:(min jobs n) (fun pool ->
+    with_pool ?prof ~jobs:(min jobs n) (fun pool ->
         let tasks = Array.map (fun x -> submit pool (fun () -> f x)) input in
         Array.map await tasks)
 

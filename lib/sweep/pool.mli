@@ -12,9 +12,10 @@
 
 type t
 
-val create : jobs:int -> t
+val create : ?prof:Resim_obs.Prof.t -> jobs:int -> unit -> t
 (** Spawn [jobs] worker domains. Raises [Invalid_argument] when
-    [jobs < 1]. *)
+    [jobs < 1]. With [prof], workers charge queue-wait and thunk-run
+    spans to the profile's [pool/wait] and [pool/run] sections. *)
 
 val jobs : t -> int
 
@@ -32,10 +33,11 @@ val shutdown : t -> unit
 (** Drain the queue, then join every worker. Pending tasks still run.
     Idempotent from the owning domain. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?prof:Resim_obs.Prof.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run the body, and {!shutdown} even on exceptions. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?prof:Resim_obs.Prof.t -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with results in input order. [jobs <= 1] (or
     an input shorter than two elements) runs serially on the calling
     domain with no pool at all, so a serial sweep is exactly the code

@@ -240,27 +240,46 @@ let attempt ~policy job : outcome =
   | exception Engine.Deadlock d -> Failed (Deadlock d)
   | exception exn -> Failed (Crashed (Printexc.to_string exn))
 
-let run_job_robust ?(policy = default_policy) job : job_report =
+(* Deterministic failures — corrupt traces, deadlocks, invalid
+   configurations — fail identically on every attempt, so retrying them
+   burns retries x backoff of wall time for nothing. Only host-side
+   transients are worth another attempt: an unexpected crash, or a
+   deadline that a loaded machine may have caused. *)
+let retryable = function
+  | Failed (Crashed _) | Timed_out _ -> true
+  | Ok _ | Truncated _ | Failed (Fault _ | Deadlock _ | Invalid _) -> false
+
+let first_attempt ~policy job : job_report =
   match Rcheck.Config.error_summary job.config with
   | Some summary -> { job; outcome = Failed (Invalid summary); attempts = 1 }
-  | None ->
-      let rec go attempts backoff =
-        let outcome = attempt ~policy job in
-        match outcome with
-        | Failed _ when attempts <= policy.retries ->
-            Unix.sleepf backoff;
-            go (attempts + 1) (Float.min policy.max_backoff (backoff *. 2.0))
-        | outcome -> { job; outcome; attempts }
-      in
-      go 1 policy.backoff
+  | None -> { job; outcome = attempt ~policy job; attempts = 1 }
 
-let run ?(strict = false) ?policy ?jobs list =
+let run_job_robust ?(policy = default_policy) job : job_report =
+  let rec go (report : job_report) backoff =
+    if report.attempts > policy.retries || not (retryable report.outcome)
+    then report
+    else begin
+      (* Direct single-job callers back off on the calling domain; the
+         pooled [run] path retries in coordinator-driven rounds instead,
+         so a worker slot never sleeps. Attempt telemetry is measured
+         inside [attempt], so backoff never inflates wall_seconds. *)
+      Unix.sleepf backoff;
+      go
+        { report with
+          outcome = attempt ~policy job;
+          attempts = report.attempts + 1 }
+        (Float.min policy.max_backoff (backoff *. 2.0))
+    end
+  in
+  go (first_attempt ~policy job) policy.backoff
+
+let run ?(strict = false) ?policy ?prof ?jobs list =
   let jobs =
     match jobs with Some jobs -> jobs | None -> Pool.recommended_jobs ()
   in
   if strict then begin
     List.iter validate_job list;
-    let results = Pool.map ~jobs run_job (Array.of_list list) in
+    let results = Pool.map ?prof ~jobs run_job (Array.of_list list) in
     { job_reports =
         Array.to_list
           (Array.map
@@ -268,10 +287,51 @@ let run ?(strict = false) ?policy ?jobs list =
                { job = result.job; outcome = Ok result; attempts = 1 })
              results) }
   end
-  else
-    { job_reports =
-        Array.to_list
-          (Pool.map ~jobs (run_job_robust ?policy) (Array.of_list list)) }
+  else begin
+    let policy = match policy with Some p -> p | None -> default_policy in
+    let job_array = Array.of_list list in
+    (* Round 0: one attempt per job across the pool. *)
+    let reports =
+      Pool.map ?prof ~jobs (first_attempt ~policy) job_array
+    in
+    (* Retry rounds: the coordinator sleeps out the backoff once per
+       round while every worker slot stays free, then resubmits only the
+       still-retryable jobs. Merging by index preserves job order. *)
+    let backoff = ref policy.backoff in
+    let round = ref 0 in
+    let pending () =
+      let indices = ref [] in
+      Array.iteri
+        (fun i (report : job_report) ->
+          if retryable report.outcome then indices := i :: !indices)
+        reports;
+      Array.of_list (List.rev !indices)
+    in
+    let continue = ref (policy.retries > 0) in
+    while !continue && !round < policy.retries do
+      let indices = pending () in
+      if Array.length indices = 0 then continue := false
+      else begin
+        incr round;
+        Unix.sleepf !backoff;
+        backoff := Float.min policy.max_backoff (!backoff *. 2.0);
+        let retried =
+          Pool.map ?prof ~jobs
+            (fun i -> attempt ~policy job_array.(i))
+            indices
+        in
+        Array.iteri
+          (fun slot i ->
+            let previous = reports.(i) in
+            reports.(i) <-
+              { previous with
+                outcome = retried.(slot);
+                attempts = previous.attempts + 1 })
+          indices
+      end
+    done;
+    { job_reports = Array.to_list reports }
+  end
 
 let completed report =
   List.filter_map
@@ -326,6 +386,72 @@ let aggregate_host_mips results =
   in
   let wall = total_wall results in
   if wall > 0.0 then Int64.to_float committed /. wall /. 1e6 else 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics export: per-job engine metrics and sweep-wide stall causes,
+   for `resim sweep --metrics` and report tooling.                     *)
+
+let aggregate_stall_causes results =
+  List.fold_left
+    (fun acc (result : result) ->
+      List.map2
+        (fun (name, total) (_, v) -> (name, Int64.add total v))
+        acc
+        (Stats.stall_causes result.outcome.stats))
+    (Stats.stall_causes (Stats.create ()))
+    results
+
+let pp_stalls ppf results =
+  Format.fprintf ppf "@[<v>stall causes (all completed jobs):@,";
+  List.iter
+    (fun (name, value) -> Format.fprintf ppf "  %-20s %Ld@," name value)
+    (aggregate_stall_causes results);
+  Format.fprintf ppf "@]"
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let outcome_tag = function
+  | Ok _ -> "ok"
+  | Failed failure -> failure_code failure
+  | Timed_out _ -> "timed-out"
+  | Truncated _ -> "truncated"
+
+let metrics_json report =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\"jobs\":[";
+  List.iteri
+    (fun i jr ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer
+        (Printf.sprintf "{\"label\":\"%s\",\"outcome\":\"%s\",\"attempts\":%d"
+           (json_escape jr.job.label)
+           (outcome_tag jr.outcome)
+           jr.attempts);
+      (match jr.outcome with
+      | Ok result | Truncated (result, _) ->
+          Buffer.add_string buffer
+            (Printf.sprintf
+               ",\"telemetry\":{\"wall_seconds\":%.6f,\"host_mips\":%.4f}"
+               result.telemetry.wall_seconds result.telemetry.host_mips);
+          Buffer.add_string buffer ",\"metrics\":";
+          Buffer.add_string buffer (Stats.to_json result.outcome.stats)
+      | Failed _ | Timed_out _ -> Buffer.add_string buffer ",\"metrics\":null");
+      Buffer.add_char buffer '}')
+    report.job_reports;
+  Buffer.add_string buffer "]}";
+  Buffer.contents buffer
 
 let scale_tag job =
   match job.scale with

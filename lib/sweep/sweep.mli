@@ -116,7 +116,7 @@ type policy = {
   timeout : float option;   (** default per-job budget, seconds *)
   max_cycles : int64 option;
   watchdog : int option;    (** no-progress cycles before deadlock *)
-  retries : int;            (** extra attempts for [Failed] outcomes *)
+  retries : int;            (** extra attempts for {!retryable} outcomes *)
   backoff : float;          (** first retry delay, seconds; doubles *)
   max_backoff : float;      (** backoff cap, seconds *)
 }
@@ -125,20 +125,39 @@ val default_policy : policy
 (** No budgets, no retries, engine-default watchdog, 0.25 s → 5 s
     backoff. *)
 
+val retryable : outcome -> bool
+(** Whether another attempt could help: only host-side transients —
+    [Failed (Crashed _)] and [Timed_out _] — qualify. Deterministic
+    failures ([Fault], [Deadlock], [Invalid]) fail identically every
+    attempt and are reported after exactly one. *)
+
 val run_job_robust : ?policy:policy -> job -> job_report
 (** Run one job inside its fault domain on the calling domain: never
-    raises. [Failed] outcomes are retried with doubling, capped backoff
-    up to [policy.retries] extra attempts. *)
+    raises. {!retryable} outcomes are retried with doubling, capped
+    backoff up to [policy.retries] extra attempts; the backoff sleeps
+    on the calling domain (the pooled {!run} path uses coordinator
+    rounds instead). Attempt wall time is measured per attempt, so
+    backoff never counts into [telemetry.wall_seconds]. *)
 
-val run : ?strict:bool -> ?policy:policy -> ?jobs:int -> job list -> report
+val run :
+  ?strict:bool ->
+  ?policy:policy ->
+  ?prof:Resim_obs.Prof.t ->
+  ?jobs:int ->
+  job list ->
+  report
 (** Shard the jobs over [jobs] worker domains (default
     {!Pool.recommended_jobs}; [1] runs everything on the calling
     domain). By default every job runs in its own fault domain and the
     sweep always completes with a full per-job report — partial results
-    stay available when some jobs fail. With [~strict:true] the
-    original contract applies: every configuration is validated up
-    front ({!Invalid_config} before any domain spawns) and the first
-    failing job's exception, in job order, is re-raised. *)
+    stay available when some jobs fail. {!retryable} outcomes are
+    retried in coordinator-driven rounds: the coordinator sleeps out
+    the (doubling, capped) backoff between rounds and resubmits only
+    the still-retryable jobs, so no worker slot ever sleeps. With
+    [~strict:true] the original contract applies: every configuration
+    is validated up front ({!Invalid_config} before any domain spawns)
+    and the first failing job's exception, in job order, is re-raised.
+    [prof] charges pool queue-wait/run spans ({!Pool.map}). *)
 
 val completed : report -> result list
 (** Results with statistics, in job order: [Ok] plus [Truncated]
@@ -173,3 +192,16 @@ val pp_table : Format.formatter -> result list -> unit
 
 val pp_failures : Format.formatter -> report -> unit
 (** Failure-summary table: label, outcome tag, attempts, detail. *)
+
+(** {1 Metrics export (observability layer)} *)
+
+val aggregate_stall_causes : result list -> (string * int64) list
+(** Element-wise sum of {!Resim_core.Stats.stall_causes} over the
+    given (typically {!completed}) results, in taxonomy order. *)
+
+val pp_stalls : Format.formatter -> result list -> unit
+
+val metrics_json : report -> string
+(** One JSON document for the whole sweep: per job its label, outcome
+    tag, attempts, telemetry and full {!Resim_core.Stats.to_json}
+    metrics ([null] for jobs without statistics). *)

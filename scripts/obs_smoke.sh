@@ -1,0 +1,120 @@
+#!/bin/sh
+# Observability smoke test, wired into `make check` (and available as
+# `make obs-smoke`): simulate a kernel with --pipetrace/--metrics,
+# validate the JSONL stream with the resim-check schema validator
+# (RSM-P codes, both clean and deliberately corrupted), check the
+# metrics documents parse and carry the stall-cause taxonomy, and run
+# the profile subcommand end to end. Everything under `timeout`.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+CLI="$ROOT/_build/default/bin/resim_cli.exe"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+if [ ! -x "$CLI" ]; then
+    (cd "$ROOT" && dune build bin/resim_cli.exe)
+fi
+
+fail=0
+
+# --- pipetrace + metrics + waterfall through one simulate run --------
+timeout 120 "$CLI" simulate -k gzip -s 256 \
+    --pipetrace "$TMP/run.jsonl" --metrics "$TMP/run.json" \
+    --waterfall 8 > "$TMP/simulate.out"
+
+for artifact in run.jsonl run.json; do
+    if [ ! -s "$TMP/$artifact" ]; then
+        echo "FAIL simulate: $artifact missing or empty"
+        fail=1
+    fi
+done
+if ! grep -q '"e":"C"' "$TMP/run.jsonl"; then
+    echo "FAIL pipetrace: no commit events in the stream"
+    fail=1
+fi
+if ! grep -q '"stall_causes"' "$TMP/run.json"; then
+    echo "FAIL metrics: no stall_causes section"
+    fail=1
+fi
+if ! grep -q '^#0 ' "$TMP/simulate.out"; then
+    echo "FAIL waterfall: no instruction rows rendered"
+    fail=1
+fi
+
+# CSV flavour: a header line plus one row, same column count.
+timeout 120 "$CLI" simulate -k gzip -s 256 --metrics "$TMP/run.csv" \
+    > /dev/null
+header_cols=$(head -1 "$TMP/run.csv" | tr ',' '\n' | wc -l)
+row_cols=$(sed -n 2p "$TMP/run.csv" | tr ',' '\n' | wc -l)
+if [ "$header_cols" -ne "$row_cols" ] || [ "$header_cols" -lt 20 ]; then
+    echo "FAIL metrics csv: header/row column mismatch ($header_cols/$row_cols)"
+    fail=1
+fi
+
+# --- schema validation: clean stream passes, corruption fails --------
+if ! timeout 60 "$CLI" lint --pipetrace "$TMP/run.jsonl" \
+        > "$TMP/lint.out"; then
+    echo "FAIL lint --pipetrace: clean stream rejected"
+    cat "$TMP/lint.out"
+    fail=1
+fi
+if ! grep -q 'clean' "$TMP/lint.out"; then
+    echo "FAIL lint --pipetrace: did not report clean"
+    fail=1
+fi
+
+{ head -5 "$TMP/run.jsonl"
+  echo '{"c":1,"e":"Z"}'
+  echo 'not json at all'
+} > "$TMP/corrupt.jsonl"
+status=0
+timeout 60 "$CLI" lint --pipetrace "$TMP/corrupt.jsonl" \
+    > "$TMP/corrupt.out" 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL lint --pipetrace: corrupt stream exit $status, want 1"
+    fail=1
+fi
+for code in RSM-P002 RSM-P001; do
+    if ! grep -q "$code" "$TMP/corrupt.out"; then
+        echo "FAIL lint --pipetrace: $code not reported"
+        fail=1
+    fi
+done
+
+# --- profile: every engine phase attributed, JSON written ------------
+timeout 120 "$CLI" profile -k gzip -s 256 --json "$TMP/prof.json" \
+    > "$TMP/profile.out"
+for phase in commit writeback issue dispatch decouple fetch account; do
+    if ! grep -q "engine/$phase" "$TMP/profile.out"; then
+        echo "FAIL profile: engine/$phase missing from the section table"
+        fail=1
+    fi
+done
+if [ ! -s "$TMP/prof.json" ]; then
+    echo "FAIL profile: --json wrote nothing"
+    fail=1
+fi
+
+# --- sweep metrics export (smallest possible grid via bench is too
+#     slow here; the sweep CLI path is covered by --quick in CI and by
+#     the library tests; validate the simulate-side document instead
+#     with a JSON-well-formedness probe when python3 is present) ------
+if command -v python3 > /dev/null 2>&1; then
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+            "$TMP/run.json"; then
+        echo "FAIL metrics: run.json is not valid JSON"
+        fail=1
+    fi
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+            "$TMP/prof.json"; then
+        echo "FAIL profile: prof.json is not valid JSON"
+        fail=1
+    fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "obs-smoke: FAILED"
+    exit 1
+fi
+echo "obs-smoke: clean"

@@ -135,7 +135,7 @@ let test_dcache_access_accounting () =
 let test_to_assoc_complete () =
   let stats = Stats.create () in
   let assoc = Stats.to_assoc stats in
-  check bool "22 counters exported" true (List.length assoc = 22);
+  check bool "26 counters exported" true (List.length assoc = 26);
   check bool "all zero initially" true
     (List.for_all (fun (_, v) -> Int64.equal v 0L) assoc);
   let names = List.map fst assoc in

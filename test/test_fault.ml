@@ -227,7 +227,9 @@ let test_sweep_truncation_and_retry () =
       check bool "checkpoint cycle matches budget" true
         (checkpoint.Checkpoint.cycle = 200L)
   | _ -> Alcotest.fail "expected one truncated job");
-  (* Deterministic failures exhaust their retries and stay Failed. *)
+  (* Deterministic failures (trace faults, deadlocks, invalid configs)
+     fail identically every attempt: the runner must not burn retries
+     on them. One attempt, no retry, still Failed. *)
   let corrupt =
     match
       Fault_inject.inject_records Fault_inject.Orphan_tag
@@ -245,11 +247,38 @@ let test_sweep_truncation_and_retry () =
       [ Sweep.trace_job ~label:"corrupt" ~config:Config.reference corrupt ]
   in
   let counts = Sweep.counts report in
-  check int "still failed after retry" 1 counts.failed;
-  check int "retried" 1 counts.retried;
-  match report.job_reports with
-  | [ { Sweep.attempts; _ } ] -> check int "two attempts" 2 attempts
-  | _ -> Alcotest.fail "expected one job report"
+  check int "still failed" 1 counts.failed;
+  check int "deterministic failure is not retried" 0 counts.retried;
+  (match report.job_reports with
+  | [ { Sweep.attempts; _ } ] ->
+      check int "fault reported after exactly one attempt" 1 attempts
+  | _ -> Alcotest.fail "expected one job report");
+  (* Host-side transients are the retryable class. An immediately
+     expired per-job deadline times out on every attempt, so a retry
+     budget of 1 yields exactly two attempts. *)
+  let impatient =
+    { Sweep.default_policy with
+      timeout = Some 0.0; retries = 1; backoff = 0.001;
+      max_backoff = 0.002 }
+  in
+  let report =
+    Sweep.run ~policy:impatient ~jobs:1
+      [ Sweep.job ~label:"transient" ~scale:(Sweep.Exact 256)
+          ~config:Config.reference gzip ]
+  in
+  let counts = Sweep.counts report in
+  check int "timed out" 1 counts.timed_out;
+  check int "transient was retried" 1 counts.retried;
+  (match report.job_reports with
+  | [ { Sweep.attempts; outcome; _ } ] ->
+      check int "retry budget spent" 2 attempts;
+      check bool "timeouts are retryable" true (Sweep.retryable outcome)
+  | _ -> Alcotest.fail "expected one job report");
+  (* The classifier itself, over the whole outcome space. *)
+  check bool "crash is retryable" true
+    (Sweep.retryable (Sweep.Failed (Sweep.Crashed "boom")));
+  check bool "invalid config is not retryable" false
+    (Sweep.retryable (Sweep.Failed (Sweep.Invalid "bad width")))
 
 (* --- checkpoint / resume ---------------------------------------------- *)
 

@@ -10,6 +10,7 @@ let () =
          Test_fpga.suite;
          Test_core.suite;
          Test_event.suite;
+         Test_obs.suite;
          Test_tracegen.suite;
          Test_baseline.suite;
          Test_workloads.suite;

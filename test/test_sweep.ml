@@ -54,7 +54,7 @@ let test_pool_exception_propagates () =
       | exception Failure _ -> ())
 
 let test_pool_submit_after_shutdown () =
-  let pool = Pool.create ~jobs:2 in
+  let pool = Pool.create ~jobs:2 () in
   check int "jobs" 2 (Pool.jobs pool);
   Pool.shutdown pool;
   Pool.shutdown pool;
@@ -65,7 +65,7 @@ let test_pool_submit_after_shutdown () =
 let test_pool_validation () =
   Alcotest.check_raises "zero jobs"
     (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
-      ignore (Pool.create ~jobs:0));
+      ignore (Pool.create ~jobs:0 ()));
   check bool "recommended >= 1" true (Pool.recommended_jobs () >= 1)
 
 (* --- Sweep determinism --------------------------------------------------- *)
