@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check lint bench faultsmoke obs-smoke obs-guard
+.PHONY: all build test check lint bench faultsmoke obs-smoke obs-guard sample-smoke
 
 # Wall-clock guard on the PR gate: a hang in any step (the very class
 # of bug the robustness layer exists to prevent) fails the gate after
@@ -23,8 +23,10 @@ lint:
 
 # The PR gate: formatting, full build, source lint, test suite, a
 # bench smoke that exercises the --json path end to end, the
-# fault-injection smoke (every corruption class through the CLI), and
-# the observability smoke (pipetrace + metrics + schema + profile).
+# fault-injection smoke (every corruption class through the CLI), the
+# observability smoke (pipetrace + metrics + schema + profile), and
+# the sampled-simulation smoke (--sample end to end, determinism,
+# spec grammar, sampled sweep).
 check:
 	$(TIMEOUT) 300 dune build @fmt
 	$(TIMEOUT) 900 dune build
@@ -33,6 +35,7 @@ check:
 	$(TIMEOUT) 600 dune exec bench/main.exe -- --quick --json /dev/null
 	$(MAKE) faultsmoke
 	$(MAKE) obs-smoke
+	$(MAKE) sample-smoke
 
 # Every Fault_inject corruption class end to end through resim
 # faultgen / lint / simulate --degraded, each step under timeout.
@@ -43,6 +46,11 @@ faultsmoke: build
 # RSM-P schema validation (clean + corrupted), resim profile.
 obs-smoke: build
 	$(TIMEOUT) 600 sh scripts/obs_smoke.sh
+
+# Sampled simulation end to end: simulate --sample (metrics splice,
+# determinism, spec grammar) and one sampled sweep (DESIGN.md §13).
+sample-smoke: build
+	$(TIMEOUT) 900 sh scripts/sample_smoke.sh
 
 # No-sink throughput guard: full bench grid vs the committed
 # BENCH_engine.json anchors, gated on the geometric mean (default 2%

@@ -243,7 +243,23 @@ let fault_exit = 3
 
 let simulate workload scale source_file trace_file perfect_bp caches
     max_cycles timeout checkpoint_out resume_file degraded pipetrace_out
-    waterfall_window metrics_out =
+    waterfall_window metrics_out sample =
+  let sample_spec =
+    match sample with
+    | None -> None
+    | Some raw -> (
+        match Resim_sample.Sample.spec_of_string raw with
+        | Ok spec -> Some spec
+        | Error message ->
+            Format.eprintf "--sample %s@." message;
+            exit 2)
+  in
+  if sample_spec <> None && resume_file <> None then begin
+    Format.eprintf
+      "--sample does not combine with --resume (resume replays the full \
+       detailed run)@.";
+    exit 2
+  end;
   let degraded_resync =
     match degraded with
     | None -> false
@@ -334,7 +350,7 @@ let simulate workload scale source_file trace_file perfect_bp caches
         Format.printf "wrote pipetrace %s@." path
     | Some _ | None -> ()
   in
-  let write_metrics stats =
+  let write_metrics ?report stats =
     match metrics_out with
     | None -> ()
     | Some path ->
@@ -342,7 +358,12 @@ let simulate workload scale source_file trace_file perfect_bp caches
           if Filename.check_suffix path ".csv" then
             Resim_core.Stats.csv_header () ^ "\n"
             ^ Resim_core.Stats.csv_row stats ^ "\n"
-          else Resim_core.Stats.to_json stats
+          else
+            let stats_json = Resim_core.Stats.to_json stats in
+            match report with
+            | None -> stats_json
+            | Some report ->
+                Resim_sample.Sample.splice_metrics ~stats_json report
         in
         if String.equal path "-" then print_string body
         else begin
@@ -353,7 +374,7 @@ let simulate workload scale source_file trace_file perfect_bp caches
           Format.printf "wrote metrics %s@." path
         end
   in
-  let finish outcome =
+  let finish ?report outcome =
     if salvage_faults <> [] then
       Resim_core.Stats.mark_degraded
         ~faults:(List.length salvage_faults)
@@ -364,13 +385,14 @@ let simulate workload scale source_file trace_file perfect_bp caches
         Format.printf "%-10s %.2f MIPS@." device.Resim_fpga.Device.name
           (Resim_core.Resim.mips outcome ~device))
       Resim_fpga.Device.all;
-    write_metrics outcome.Resim_core.Resim.stats
+    write_metrics ?report outcome.Resim_core.Resim.stats
   in
   match resume_file with
   | Some path -> (
       match Resim_core.Checkpoint.load path with
       | Error message ->
-          Format.eprintf "--resume %s: %s@." path message;
+          Format.eprintf "--resume %s: %s@." path
+            (Resim_core.Checkpoint.error_to_string message);
           exit 2
       | Ok checkpoint -> (
           match
@@ -396,37 +418,74 @@ let simulate workload scale source_file trace_file perfect_bp caches
         if sinks = [] then None
         else Some (fun engine -> Resim_obs.Obs.attach engine sinks)
       in
-      match
-        Resim_core.Resim.simulate_robust ~config ?max_cycles ?deadline
-          ?instrument records
-      with
-      | Error failure ->
-          (* Flush the partial pipetrace — the events up to the fault
-             are exactly what a post-mortem wants. *)
-          close_sinks ();
-          Format.eprintf "simulate: %s@."
-            (Resim_core.Resim.failure_to_string failure);
-          exit fault_exit
-      | Ok robust ->
-          close_sinks ();
-          (match robust.Resim_core.Resim.stop with
-          | Resim_core.Engine.Drained -> ()
-          | Resim_core.Engine.Cycle_budget ->
+      let fail failure =
+        (* Flush the partial pipetrace — the events up to the fault
+           are exactly what a post-mortem wants. *)
+        close_sinks ();
+        Format.eprintf "simulate: %s@."
+          (Resim_core.Resim.failure_to_string failure);
+        exit fault_exit
+      in
+      let conclude ?report robust =
+        close_sinks ();
+        (match robust.Resim_core.Resim.stop with
+        | Resim_core.Engine.Drained -> ()
+        | Resim_core.Engine.Cycle_budget ->
+            Format.printf
+              "run truncated by --max-cycles; statistics are partial@."
+        | Resim_core.Engine.Time_budget ->
+            Format.printf
+              "run truncated by --timeout; statistics are partial@."
+        | Resim_core.Engine.Commit_target ->
+            Format.printf
+              "run truncated at commit target; statistics are partial@.");
+        (match (robust.Resim_core.Resim.resume, checkpoint_out) with
+        | Some checkpoint, Some path ->
+            Resim_core.Checkpoint.save path checkpoint;
+            Format.printf "wrote checkpoint %s (resume with --resume)@."
+              path
+        | Some _, None | None, None -> ()
+        | None, Some _ ->
+            Format.printf
+              "run completed; no checkpoint needed or written@.");
+        (match report with
+        | None -> ()
+        | Some report ->
+            let open Resim_sample.Sample in
+            if Float.is_finite report.ci95 then
               Format.printf
-                "run truncated by --max-cycles; statistics are partial@."
-          | Resim_core.Engine.Time_budget ->
+                "sampled (%s): %d intervals, IPC %.4f +- %.4f (95%% CI), \
+                 %d detailed / %d warmed instructions@."
+                (spec_to_string report.spec)
+                (List.length report.intervals)
+                report.mean_ipc report.ci95 report.detailed_instructions
+                report.warmed_instructions
+            else
               Format.printf
-                "run truncated by --timeout; statistics are partial@.");
-          (match (robust.Resim_core.Resim.resume, checkpoint_out) with
-          | Some checkpoint, Some path ->
-              Resim_core.Checkpoint.save path checkpoint;
-              Format.printf "wrote checkpoint %s (resume with --resume)@."
-                path
-          | Some _, None | None, None -> ()
-          | None, Some _ ->
-              Format.printf
-                "run completed; no checkpoint needed or written@.");
-          finish robust.Resim_core.Resim.outcome)
+                "sampled (%s): %d interval(s), IPC %.4f (CI undefined \
+                 below two intervals), %d detailed / %d warmed \
+                 instructions@."
+                (spec_to_string report.spec)
+                (List.length report.intervals)
+                report.mean_ipc report.detailed_instructions
+                report.warmed_instructions);
+        finish ?report robust.Resim_core.Resim.outcome
+      in
+      match sample_spec with
+      | Some spec -> (
+          match
+            Resim_sample.Sample.run ~config ?deadline ?max_cycles
+              ?instrument ~spec records
+          with
+          | Error failure -> fail failure
+          | Ok (robust, report) -> conclude ~report robust)
+      | None -> (
+          match
+            Resim_core.Resim.simulate_robust ~config ?max_cycles ?deadline
+              ?instrument records
+          with
+          | Error failure -> fail failure
+          | Ok robust -> conclude robust))
 
 let simulate_cmd =
   let trace_file =
@@ -516,12 +575,25 @@ let simulate_cmd =
                 — to $(docv) ($(b,-) for stdout): JSON, or a CSV \
                 header+row pair when $(docv) ends in $(b,.csv).")
   in
+  let sample =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sample" ] ~docv:"SPEC"
+          ~doc:"Sampled simulation (DESIGN.md §13): $(docv) is \
+                $(b,detail:warmup[:seed]) — alternate $(b,detail) \
+                committed instructions of full timing with $(b,warmup) \
+                instructions of functional warm-up (caches and branch \
+                predictor stay warm, no timing), and report mean IPC \
+                with a 95% confidence interval over the measured \
+                intervals. Deterministic for a fixed seed.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the ReSim timing engine")
     Term.(
       const simulate $ kernel_arg $ scale_arg $ program_arg $ trace_file
       $ perfect_bp $ caches $ max_cycles $ timeout $ checkpoint_out
-      $ resume_file $ degraded $ pipetrace $ waterfall $ metrics)
+      $ resume_file $ degraded $ pipetrace $ waterfall $ metrics $ sample)
 
 (* --- area ----------------------------------------------------------- *)
 
@@ -762,7 +834,17 @@ let dedupe_jobs jobs =
     jobs
 
 let sweep jobs quick keep_going timeout max_cycles retries metrics_out
-    profile_pool =
+    profile_pool sample =
+  let sample_spec =
+    match sample with
+    | None -> None
+    | Some raw -> (
+        match Resim_sample.Sample.spec_of_string raw with
+        | Ok spec -> Some spec
+        | Error message ->
+            Format.eprintf "--sample %s@." message;
+            exit 2)
+  in
   let jobs = max 1 jobs in
   let grid =
     List.map Resim_reports.Runner.job_of_request
@@ -776,6 +858,14 @@ let sweep jobs quick keep_going timeout max_cycles retries metrics_out
              { job with Resim_sweep.Sweep.scale = Resim_sweep.Sweep.Default })
            grid)
     else grid
+  in
+  let grid =
+    match sample_spec with
+    | None -> grid
+    | Some _ ->
+        List.map
+          (fun job -> { job with Resim_sweep.Sweep.sample = sample_spec })
+          grid
   in
   (* --keep-going validates per job inside the fault domain instead, so
      one bad configuration cannot abort the whole grid. *)
@@ -893,12 +983,22 @@ let sweep_cmd =
           ~doc:"Profile the worker pool: per-domain wait vs run time \
                 and allocation, printed after the sweep.")
   in
+  let sample =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sample" ] ~docv:"SPEC"
+          ~doc:"Run every job sampled ($(b,detail:warmup[:seed]), see \
+                $(b,resim simulate --sample)); per-job metrics gain a \
+                $(b,sample) section with the interval IPCs and 95% \
+                confidence interval.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run the full ablation grid as a domain-parallel sweep")
     Term.(
       const sweep $ jobs $ quick $ keep_going $ timeout $ max_cycles
-      $ retries $ metrics $ profile_pool)
+      $ retries $ metrics $ profile_pool $ sample)
 
 (* --- bench ----------------------------------------------------------- *)
 
@@ -910,6 +1010,8 @@ let bench json quick =
     Resim_core.Config.fast_comparable;
   let measurements = Resim_reports.Hostbench.measure ~quick () in
   Format.printf "%a@." Resim_reports.Hostbench.pp_table measurements;
+  let sampled = Resim_reports.Hostbench.measure_sampled ~quick () in
+  Format.printf "%a@." Resim_reports.Hostbench.pp_sampled sampled;
   (* Full runs also sweep the (default-scale) ablation grid through the
      fault-domain runner, recording per-job outcome counts in the JSON;
      quick mode skips it and the counts report null. *)
@@ -936,7 +1038,7 @@ let bench json quick =
   in
   match json with
   | Some path ->
-      Resim_reports.Hostbench.write_json ~path ?sweep_outcomes
+      Resim_reports.Hostbench.write_json ~path ?sweep_outcomes ~sampled
         measurements;
       Format.printf "wrote %s@." path
   | None -> ()

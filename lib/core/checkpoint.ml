@@ -29,49 +29,107 @@ let to_string t =
     t.counters;
   Buffer.contents b
 
+(* Structured parse errors in the Trace_fault style: a stable RSM-K
+   code per malformation class, the 1-based line it was found on (0 for
+   whole-document conditions) and a human reason. A malformed
+   checkpoint must refuse the resume loudly — the old parser silently
+   tolerated duplicate keys (last won) and accepted signed or hex
+   numerals a writer never emits. *)
+
+type error = { code : string; line : int; reason : string }
+
+let error_to_string e =
+  if e.line = 0 then Printf.sprintf "%s: %s" e.code e.reason
+  else Printf.sprintf "%s: line %d: %s" e.code e.line e.reason
+
+exception Bad of error
+
+let fail ~code ~line reason = raise (Bad { code; line; reason })
+
+(* The writer emits unsigned decimal only, so the reader accepts
+   exactly that: no sign, no hex/octal/binary prefixes, no
+   underscores. [of_string_opt] still rejects overflow. *)
+let strict_decimal raw =
+  if
+    String.length raw > 0
+    && String.for_all (fun c -> c >= '0' && c <= '9') raw
+  then Int64.of_string_opt raw
+  else None
+
+let strict_decimal_int raw =
+  match strict_decimal raw with
+  | Some v when Int64.compare v (Int64.of_int max_int) <= 0 ->
+      Some (Int64.to_int v)
+  | Some _ | None -> None
+
 let of_string data =
-  let lines =
-    String.split_on_char '\n' data
-    |> List.filter (fun line -> String.length line > 0)
-  in
-  match lines with
-  | [] -> Error "empty checkpoint"
-  | header :: rest ->
-      if not (String.equal header (Printf.sprintf "%s %d" magic version))
-      then Error (Printf.sprintf "bad checkpoint header %S" header)
-      else begin
+  let parse () =
+    let numbered = ref [] in
+    List.iteri
+      (fun i line ->
+        if String.length line > 0 then numbered := (i + 1, line) :: !numbered)
+      (String.split_on_char '\n' data);
+    match List.rev !numbered with
+    | [] -> fail ~code:"RSM-K001" ~line:0 "empty checkpoint"
+    | (header_line, header) :: rest ->
+        let expected = Printf.sprintf "%s %d" magic version in
+        if not (String.equal header expected) then
+          fail ~code:"RSM-K002" ~line:header_line
+            (Printf.sprintf "bad header %S (expected %S)" header expected);
         let cycle = ref None in
         let cursor = ref None in
         let counters = ref [] in
-        let bad = ref None in
+        let seen_counters = Hashtbl.create 16 in
         List.iter
-          (fun line ->
-            match !bad with
-            | Some _ -> ()
-            | None -> (
-                match String.split_on_char ' ' line with
-                | [ "cycle"; v ] -> (
-                    match Int64.of_string_opt v with
-                    | Some v -> cycle := Some v
-                    | None -> bad := Some line)
-                | [ "cursor"; v ] -> (
-                    match int_of_string_opt v with
-                    | Some v -> cursor := Some v
-                    | None -> bad := Some line)
-                | [ "counter"; name; v ] -> (
-                    match Int64.of_string_opt v with
-                    | Some v -> counters := (name, v) :: !counters
-                    | None -> bad := Some line)
-                | _ -> bad := Some line))
+          (fun (line, text) ->
+            match String.split_on_char ' ' text with
+            | [ "cycle"; v ] -> (
+                if Option.is_some !cycle then
+                  fail ~code:"RSM-K005" ~line "duplicate key cycle";
+                match strict_decimal v with
+                | Some v -> cycle := Some v
+                | None ->
+                    fail ~code:"RSM-K004" ~line
+                      (Printf.sprintf "unparseable cycle value %S" v))
+            | [ "cursor"; v ] -> (
+                if Option.is_some !cursor then
+                  fail ~code:"RSM-K005" ~line "duplicate key cursor";
+                match strict_decimal_int v with
+                | Some v -> cursor := Some v
+                | None ->
+                    fail ~code:"RSM-K004" ~line
+                      (Printf.sprintf "unparseable cursor value %S" v))
+            | [ "counter"; name; v ] -> (
+                if Hashtbl.mem seen_counters name then
+                  fail ~code:"RSM-K005" ~line
+                    (Printf.sprintf "duplicate counter %s" name);
+                Hashtbl.add seen_counters name ();
+                match strict_decimal v with
+                | Some v -> counters := (name, v) :: !counters
+                | None ->
+                    fail ~code:"RSM-K004" ~line
+                      (Printf.sprintf "unparseable counter %s value %S"
+                         name v))
+            | _ ->
+                fail ~code:"RSM-K003" ~line
+                  (Printf.sprintf "malformed line %S" text))
           rest;
-        match (!bad, !cycle, !cursor) with
-        | Some line, _, _ ->
-            Error (Printf.sprintf "bad checkpoint line %S" line)
-        | None, None, _ -> Error "checkpoint missing cycle"
-        | None, _, None -> Error "checkpoint missing cursor"
-        | None, Some cycle, Some cursor ->
-            Ok { cycle; cursor; counters = List.rev !counters }
-      end
+        let cycle =
+          match !cycle with
+          | Some cycle -> cycle
+          | None -> fail ~code:"RSM-K006" ~line:0 "missing required key cycle"
+        in
+        let cursor =
+          match !cursor with
+          | Some cursor -> cursor
+          | None ->
+              fail ~code:"RSM-K006" ~line:0 "missing required key cursor"
+        in
+        { cycle; cursor; counters = List.rev !counters }
+  in
+  match parse () with
+  | checkpoint -> Ok checkpoint
+  | exception Bad error -> Error error
 
 let save path t =
   let oc = open_out_bin path in
@@ -82,7 +140,8 @@ let save path t =
 
 let load path =
   match open_in_bin path with
-  | exception Sys_error message -> Error message
+  | exception Sys_error message ->
+      Error { code = "RSM-K000"; line = 0; reason = message }
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)

@@ -21,12 +21,31 @@ val make :
 val to_string : t -> string
 (** Stable line-oriented text form ([RSCP 1] header). *)
 
-val of_string : string -> (t, string) result
+(** Structured parse failure, in the [Trace_fault] style: a stable
+    RSM-K code per malformation class, the 1-based line it was found on
+    (0 for whole-document conditions), and a human-readable reason.
+
+    Codes: [RSM-K000] file unreadable, [RSM-K001] empty document,
+    [RSM-K002] bad header, [RSM-K003] malformed line, [RSM-K004]
+    unparseable value (values are strict unsigned decimal — no sign,
+    hex or underscores), [RSM-K005] duplicate key or counter,
+    [RSM-K006] missing required key. *)
+type error = { code : string; line : int; reason : string }
+
+val error_to_string : error -> string
+
+val of_string : string -> (t, error) result
+(** Strict parse: any malformation refuses the whole checkpoint (and
+    with it the resume) rather than guessing — a checkpoint drives a
+    verification replay, so a silently mis-read field would surface
+    later as a baffling "wrong trace or configuration" refusal, or
+    worse, verify against the wrong position. *)
 
 val save : string -> t -> unit
 (** Write to a file; raises [Sys_error] on IO failure. *)
 
-val load : string -> (t, string) result
-(** Read from a file; IO and parse failures are both [Error]. *)
+val load : string -> (t, error) result
+(** Read from a file; IO failures come back as [RSM-K000], parse
+    failures with their RSM-K code. *)
 
 val pp : Format.formatter -> t -> unit

@@ -152,6 +152,10 @@ type t = {
   mutable fetch_stall_source : recovery_source;
   mutable fetch_mode : fetch_mode;
   mutable last_fetch_block : int;
+  (* Cleared while draining the pipeline at a sampling-interval
+     boundary: every phase runs normally but fetch admits nothing, so
+     the window empties in bounded time. *)
+  mutable fetch_enabled : bool;
   mutable observer : (event -> unit) option;
   mutable phase_probe : (phase -> unit) option;
 }
@@ -193,6 +197,7 @@ let create_from_source ?(config = Config.reference) source =
     fetch_stall_source = Recover_mispredict;
     fetch_mode = Normal;
     last_fetch_block = -1;
+    fetch_enabled = true;
     observer = None;
     phase_probe = None }
 
@@ -236,9 +241,11 @@ let[@inline] probe t ph =
 
 let record_at t index = Source.at t.source index
 
+let pipeline_empty t =
+  Ring.is_empty t.ifq && Ring.is_empty t.decouple && Rob.is_empty t.rob
+
 let finished t =
-  (not (Source.has t.source t.cursor))
-  && Ring.is_empty t.ifq && Ring.is_empty t.decouple && Rob.is_empty t.rob
+  (not (Source.has t.source t.cursor)) && pipeline_empty t
 
 (* ------------------------------------------------------------------ *)
 (* Event scheduler: touch only state that can change this cycle.
@@ -854,7 +861,8 @@ let fetch_control t (record : Trace.Record.t) ~kind ~taken ~target =
   ({ record; squash_at_commit = next_is_tagged; ras_repair }, effective_taken)
 
 let fetch_phase t =
-  if t.fetch_stall > 0 then begin
+  if not t.fetch_enabled then ()
+  else if t.fetch_stall > 0 then begin
     t.fetch_stall <- t.fetch_stall - 1;
     Stats.incr t.stats Stats.fetch_penalty_cycles;
     (* Attribute the burned cycle. Icache misses are already charged to
@@ -980,6 +988,99 @@ let fetch_mode_name t =
   | Wrong_path -> "wrong-path"
   | Awaiting_resolution -> "awaiting"
 
+(* ------------------------------------------------------------------ *)
+(* Functional warm-up (sampled simulation, DESIGN.md §13): advance the
+   trace cursor, cache hierarchy and predictor/BTB/RAS state without
+   any detailed timing. No ROB/LSQ/FU/event-queue work happens and the
+   cycle counter does not move — only the long-lived microarchitectural
+   state a later detailed interval depends on is updated. *)
+
+(* Drain: finish every in-flight instruction without admitting new
+   ones, leaving the pipeline empty at the current cursor. All phases
+   run normally (commits train the predictor, stores write the dcache,
+   squashes resolve), so the microarchitectural state afterwards is
+   exactly what a detailed run would carry — the cycles spent are
+   charged to the engine statistics like any others. Bounded by the
+   in-flight work, so the guard only trips on a genuine engine bug. *)
+let drain_bound = 100_000
+
+let drain t =
+  t.fetch_enabled <- false;
+  let guard = ref 0 in
+  (match
+     while not (pipeline_empty t) do
+       step t;
+       incr guard;
+       if !guard > drain_bound then
+         raise
+           (Deadlock
+              { reason = "no progress draining the pipeline";
+                at_cycle = t.cycle;
+                at_cursor = t.cursor;
+                rob_occupancy = Rob.length t.rob;
+                fetch_mode = fetch_mode_name t;
+                stuck_for = !guard })
+     done
+   with
+  | () -> t.fetch_enabled <- true
+  | exception exn ->
+      t.fetch_enabled <- true;
+      raise exn);
+  (* A squash during the drain may leave a pending recovery penalty;
+     the functional gap that follows absorbs it by construction. *)
+  t.fetch_stall <- 0;
+  t.fetch_mode <- Normal
+
+(* Process up to [max_instructions] correct-path records functionally:
+   per new icache block one instruction-cache access, per branch a
+   predict (exercising the BTB lookup and RAS push/pop exactly as fetch
+   would) followed immediately by its commit-time training, per memory
+   record one data-cache access. Wrong-path records are skipped — their
+   resolution point is what the detailed engine squashes at, and no
+   timing state exists here to recover. Returns the number of
+   correct-path instructions consumed (short only when the trace
+   ends). The pipeline must be empty ({!drain} first). *)
+let functional_warmup t ~max_instructions =
+  if not (pipeline_empty t) then
+    invalid_arg "Engine.functional_warmup: pipeline not empty";
+  if max_instructions < 0 then
+    invalid_arg "Engine.functional_warmup: negative instruction count";
+  t.fetch_stall <- 0;
+  t.fetch_mode <- Normal;
+  let warmed = ref 0 in
+  let running = ref (max_instructions > 0) in
+  while !running do
+    Source.release_below t.source t.cursor;
+    if not (Source.has t.source t.cursor) then running := false
+    else begin
+      let record = Source.get t.source t.cursor in
+      t.cursor <- t.cursor + 1;
+      if not record.Trace.Record.wrong_path then begin
+        incr warmed;
+        let byte_addr = Resim_isa.Instruction.byte_address record.pc in
+        let block = byte_addr / icache_block_bytes t in
+        if block <> t.last_fetch_block then begin
+          ignore (Hierarchy.access t.icache ~addr:byte_addr ~write:false);
+          t.last_fetch_block <- block
+        end;
+        (match record.payload with
+        | Trace.Record.Branch { kind; taken; target } ->
+            ignore
+              (Bpred.Predictor.predict t.predictor ~pc:record.pc ~kind
+                 ~fallthrough:(record.pc + 1) ~actual_taken:taken
+                 ~actual_target:target);
+            Bpred.Predictor.update t.predictor ~pc:record.pc ~kind ~taken
+              ~target
+        | Trace.Record.Memory { is_load; address } ->
+            ignore
+              (Hierarchy.access t.dcache ~addr:address ~write:(not is_load))
+        | Trace.Record.Other _ -> ());
+        if !warmed >= max_instructions then running := false
+      end
+    end
+  done;
+  !warmed
+
 let cursor t = t.cursor
 
 let checkpoint t =
@@ -994,7 +1095,7 @@ let deadlock_here t ~reason ~stuck_for =
     fetch_mode = fetch_mode_name t;
     stuck_for }
 
-type stop = Drained | Cycle_budget | Time_budget
+type stop = Drained | Cycle_budget | Time_budget | Commit_target
 
 type bounded = { final : Stats.t; stop : stop; resume : Checkpoint.t option }
 
@@ -1005,7 +1106,8 @@ let default_watchdog = 100_000
    frequent enough that a timeout lands within microseconds. *)
 let deadline_poll_interval = 256
 
-let run_bounded ?(watchdog = default_watchdog) ?max_cycles ?deadline t =
+let run_bounded ?(watchdog = default_watchdog) ?max_cycles ?max_commits
+    ?deadline t =
   (* Progress watchdog on plain ints: this loop runs every cycle. *)
   let last_cursor = ref t.cursor in
   let last_committed = ref (Stats.get_int Stats.committed t.stats) in
@@ -1020,8 +1122,15 @@ let run_bounded ?(watchdog = default_watchdog) ?max_cycles ?deadline t =
       | Some budget -> Int64.compare t.cycle budget >= 0
       | None -> false
     in
-    let deadline_hit =
+    let commits_hit =
       (not budget_hit)
+      &&
+      match max_commits with
+      | Some target -> Stats.get_int Stats.committed t.stats >= target
+      | None -> false
+    in
+    let deadline_hit =
+      (not budget_hit) && (not commits_hit)
       &&
       match deadline with
       | Some hit ->
@@ -1035,6 +1144,10 @@ let run_bounded ?(watchdog = default_watchdog) ?max_cycles ?deadline t =
     in
     if budget_hit then begin
       verdict := Cycle_budget;
+      running := false
+    end
+    else if commits_hit then begin
+      verdict := Commit_target;
       running := false
     end
     else if deadline_hit then begin
@@ -1069,7 +1182,7 @@ let run_bounded ?(watchdog = default_watchdog) ?max_cycles ?deadline t =
     resume =
       (match !verdict with
       | Drained -> None
-      | Cycle_budget | Time_budget -> Some (checkpoint t)) }
+      | Cycle_budget | Time_budget | Commit_target -> Some (checkpoint t)) }
 
 let run ?(max_cycles = 1_000_000_000L) t =
   let bounded = run_bounded ~max_cycles t in
@@ -1077,6 +1190,7 @@ let run ?(max_cycles = 1_000_000_000L) t =
   | Drained -> bounded.final
   | Cycle_budget ->
       raise (Deadlock (deadlock_here t ~reason:"exceeded max_cycles" ~stuck_for:0))
-  | Time_budget -> assert false (* no deadline was installed *)
+  | Time_budget | Commit_target ->
+      assert false (* no deadline or commit target was installed *)
 
 let simulate ?config trace = run (create ?config trace)

@@ -125,8 +125,32 @@ val minor_cycles : t -> int64
 val finished : t -> bool
 (** Trace fully consumed and pipeline drained. *)
 
+val pipeline_empty : t -> bool
+(** IFQ, decouple buffer and ROB all empty — the boundary condition for
+    switching between detailed and functional simulation. *)
+
 val step : t -> unit
 (** Simulate one major cycle. No-op once {!finished}. *)
+
+val drain : t -> unit
+(** Finish every in-flight instruction without fetching new ones,
+    leaving the pipeline empty at the current cursor. Every phase runs
+    normally — commits train the predictor, stores write the dcache,
+    pending squashes resolve — and the cycles spent are charged to the
+    statistics like any others. Any recovery penalty left by a squash
+    during the drain is cleared (the functional gap that follows
+    absorbs it). Raises {!Deadlock} only on a genuine engine bug. *)
+
+val functional_warmup : t -> max_instructions:int -> int
+(** Sampled simulation's fast-forward (DESIGN.md §13): consume up to
+    [max_instructions] correct-path records updating only the
+    long-lived microarchitectural state — trace cursor, instruction and
+    data cache hierarchies, direction predictor, BTB and RAS — with no
+    detailed timing: no ROB/LSQ/FU/event-queue work, and {!cycle} does
+    not advance. Wrong-path records are skipped. Returns the number of
+    correct-path instructions consumed, short of the request only when
+    the trace ends. Raises [Invalid_argument] unless {!pipeline_empty}
+    ({!drain} first) or if [max_instructions] is negative. *)
 
 val cursor : t -> int
 (** Trace records consumed so far (the fetch cursor). *)
@@ -158,6 +182,7 @@ type stop =
   | Drained       (** trace consumed and pipeline empty — a full run *)
   | Cycle_budget  (** [max_cycles] reached; stats are partial *)
   | Time_budget   (** the deadline closure fired; stats are partial *)
+  | Commit_target (** [max_commits] reached; stats are partial *)
 
 type bounded = {
   final : Stats.t;
@@ -172,13 +197,17 @@ val default_watchdog : int
 val run_bounded :
   ?watchdog:int ->
   ?max_cycles:int64 ->
+  ?max_commits:int ->
   ?deadline:(unit -> bool) ->
   t ->
   bounded
 (** Step until {!finished} or a budget trips, truncating gracefully with
     partial statistics and a replay checkpoint instead of raising. The
     [deadline] closure is polled every few hundred cycles — pass a
-    wall-clock check; the engine itself never reads the clock. Raises
+    wall-clock check; the engine itself never reads the clock.
+    [max_commits] is an absolute committed-instruction target (compared
+    against the [committed] counter, which persists across calls — the
+    sample driver's detailed intervals rely on this). Raises
     {!Deadlock} only for genuine no-progress (watchdog), and lets
     {!Resim_trace.Fault.Trace_fault} from protocol violations
     propagate. *)

@@ -1,0 +1,165 @@
+(* One escape routine for every hand-rolled JSON emitter in the tree
+   (Stats, Sweep, Hostbench, Prof, the sample driver): free-form
+   strings — labels, kernel names, fault reasons — must never be able
+   to break a document. *)
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let add_string buffer s =
+  Buffer.add_char buffer '"';
+  Buffer.add_string buffer (escape s);
+  Buffer.add_char buffer '"'
+
+let quote s = "\"" ^ escape s ^ "\""
+
+(* ------------------------------------------------------------------ *)
+(* Strict validating parser (RFC 8259 grammar, values discarded).      *)
+
+exception Bad of int * string
+
+let validate data =
+  let n = String.length data in
+  let pos = ref 0 in
+  let fail reason = raise (Bad (!pos, reason)) in
+  let peek () = if !pos < n then Some data.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match data.[!pos] with
+         | ' ' | '\t' | '\n' | '\r' -> true
+         | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> fail (Printf.sprintf "expected %C, got %C" c got)
+    | None -> fail (Printf.sprintf "expected %C, got end of input" c)
+  in
+  let literal word =
+    String.iter expect word
+  in
+  let is_hex = function
+    | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+    | _ -> false
+  in
+  let parse_string () =
+    expect '"';
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); closed := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some c when is_hex c -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | Some c -> fail (Printf.sprintf "bad escape \\%C" c)
+          | None -> fail "unterminated escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control character"
+      | Some _ -> advance ()
+    done
+  in
+  let digits () =
+    let start = !pos in
+    while
+      !pos < n && match data.[!pos] with '0' .. '9' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected digit"
+  in
+  let parse_number () =
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with
+        | Some ('+' | '-') -> advance ()
+        | _ -> ());
+        digits ()
+    | _ -> ())
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "expected a value"
+    | Some '"' -> parse_string ()
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let more = ref true in
+          while !more do
+            skip_ws ();
+            parse_string ();
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' -> advance (); more := false
+            | _ -> fail "expected ',' or '}' in object"
+          done
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let more = ref true in
+          while !more do
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' -> advance (); more := false
+            | _ -> fail "expected ',' or ']' in array"
+          done
+        end
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    parse_value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after document"
+  with
+  | () -> Ok ()
+  | exception Bad (offset, reason) ->
+      Error (Printf.sprintf "offset %d: %s" offset reason)

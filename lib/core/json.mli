@@ -1,0 +1,28 @@
+(** Shared JSON string handling for every hand-rolled emitter.
+
+    The repository deliberately carries no JSON dependency; each layer
+    builds its documents with [Buffer] and [Printf]. What they must
+    share is the escaping of free-form strings — kernel names, job
+    labels, fault reasons, profiler section names — so that a quote or
+    backslash in any of them can never produce an invalid document.
+    [escape] is that single escape routine; [validate] is a strict
+    RFC-8259 parser used by the test suite's "every emitted document
+    parses" property and by smoke tooling. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes in a JSON
+    document: ["\""], ["\\"] and all control characters below 0x20
+    (["\n"]/["\r"]/["\t"] as their short forms, the rest as [\u00xx]).
+    Everything else passes through byte-for-byte. *)
+
+val add_string : Buffer.t -> string -> unit
+(** Append [s] to the buffer as a quoted, escaped JSON string. *)
+
+val quote : string -> string
+(** [quote s] is ["\"" ^ escape s ^ "\""]. *)
+
+val validate : string -> (unit, string) result
+(** Strict whole-document JSON parse: objects, arrays, strings with
+    escapes, numbers (including floats and exponents), [true], [false],
+    [null]. [Error] carries a byte offset and reason. Used to assert
+    that every emitter in the tree produces well-formed documents. *)

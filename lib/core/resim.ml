@@ -42,13 +42,17 @@ type robust = {
 }
 
 let simulate_robust ?(config = Config.reference) ?watchdog ?max_cycles
-    ?deadline ?instrument records =
+    ?deadline ?instrument ?driver records =
   match
     let engine = Engine.create ~config records in
     (* Observability hook: attach sinks/probes to the freshly created
        engine before the first cycle runs. *)
     (match instrument with Some f -> f engine | None -> ());
-    let bounded = Engine.run_bounded ?watchdog ?max_cycles ?deadline engine in
+    let bounded =
+      match driver with
+      | Some drive -> drive engine
+      | None -> Engine.run_bounded ?watchdog ?max_cycles ?deadline engine
+    in
     { outcome = outcome_of ~config ~records engine bounded.Engine.final;
       stop = bounded.Engine.stop;
       resume = bounded.Engine.resume }

@@ -66,6 +66,7 @@ val simulate_robust :
   ?max_cycles:int64 ->
   ?deadline:(unit -> bool) ->
   ?instrument:(Engine.t -> unit) ->
+  ?driver:(Engine.t -> Engine.bounded) ->
   Resim_trace.Record.t array ->
   (robust, failure) result
 (** {!simulate_trace} under fault domains: trace faults and deadlocks
@@ -74,7 +75,12 @@ val simulate_robust :
     on the freshly created engine before the first cycle, so callers
     can attach observability sinks ({!Engine.set_observer}) or phase
     probes ({!Engine.set_phase_probe}) without building the engine
-    themselves. *)
+    themselves. [driver] replaces {!Engine.run_bounded} as the run
+    loop — the sampled-simulation driver ({!Resim_sample.Sample}) uses
+    it to alternate functional warm-up and detailed intervals; when
+    given, it owns all budget handling and [watchdog]/[max_cycles]/
+    [deadline] are ignored. Trace faults and deadlocks it raises are
+    still caught into [Error]. *)
 
 val resume_trace :
   ?config:Config.t ->

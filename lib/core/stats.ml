@@ -197,19 +197,10 @@ let commit_starved_fraction t =
   if Int64.equal (Histogram.total t.commit_width) 0L then 0.0
   else Histogram.fraction_at t.commit_width 0
 
-let json_escape s =
-  let buffer = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buffer "\\\""
-      | '\\' -> Buffer.add_string buffer "\\\\"
-      | '\n' -> Buffer.add_string buffer "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buffer c)
-    s;
-  Buffer.contents buffer
+(* Counter names are internal identifiers today, but the document must
+   stay well-formed whatever they become — one shared escape routine
+   for every emitter in the tree. *)
+let json_escape = Json.escape
 
 let add_histogram buffer histogram =
   Buffer.add_char buffer '[';

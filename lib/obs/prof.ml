@@ -135,11 +135,14 @@ let to_json t =
   List.iteri
     (fun i s ->
       if i > 0 then Buffer.add_char buffer ',';
+      (* Section names are caller-chosen free-form strings — escape
+         them like every other emitter in the tree. *)
       Buffer.add_string buffer
         (Printf.sprintf
-           "{\"name\":\"%s\",\"calls\":%d,\"seconds\":%.6f,\
+           "{\"name\":%s,\"calls\":%d,\"seconds\":%.6f,\
             \"allocated_words\":%.0f}"
-           s.name s.calls s.seconds s.allocated_words))
+           (Resim_core.Json.quote s.name)
+           s.calls s.seconds s.allocated_words))
     (sections t);
   Buffer.add_string buffer "]}";
   Buffer.contents buffer

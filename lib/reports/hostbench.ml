@@ -122,6 +122,107 @@ let measure ?(quick = false) () =
         configurations)
     (grid ~quick)
 
+(* ------------------------------------------------------------------ *)
+(* Sampled simulation (DESIGN.md §13): the same engine-only protocol,
+   comparing a full detailed run against the sampling driver on the
+   identical pre-generated trace. [speedup] is the per-point full/
+   sampled wall ratio; [covered] asserts the statistical contract —
+   the full-run IPC falls inside the sampled 95% confidence
+   interval. *)
+
+type sampled_measurement = {
+  s_kernel : string;
+  s_scale : int option;
+  s_config_name : string;
+  spec : Resim_sample.Sample.spec;
+  intervals : int;
+  mean_ipc : float;
+  ci95 : float;  (* infinity when under two intervals *)
+  full_ipc : float;
+  covered : bool;
+  detailed_instructions : int;
+  warmed_instructions : int;
+  full_ns : float;
+  sampled_ns : float;
+  sample_speedup : float;
+}
+
+let sampled_spec ~quick =
+  (* 5% detail. The quick trace is small, so a short period keeps
+     enough intervals for a finite confidence interval. *)
+  if quick then { Resim_sample.Sample.detail = 100; warmup = 1900; seed = 7 }
+  else { Resim_sample.Sample.detail = 1000; warmup = 19000; seed = 7 }
+
+let measure_sampled ?(quick = false) () =
+  let runs = if quick then 2 else 9 in
+  let spec = sampled_spec ~quick in
+  let config = Config.reference in
+  List.map
+    (fun (kernel_name, scale) ->
+      let kernel = Resim_workloads.Workload.find kernel_name in
+      let program =
+        match scale with
+        | Some scale ->
+            Resim_workloads.Workload.program_of kernel ~scale ()
+        | None -> Resim_workloads.Workload.program_of kernel ()
+      in
+      let generated = Resim_tracegen.Generator.run program in
+      let records = generated.records in
+      let full_stats = ref (Stats.create ()) in
+      let full_seconds =
+        time_best ~runs (fun () ->
+            full_stats := Engine.simulate ~config records)
+      in
+      let report = ref None in
+      let sampled_seconds =
+        time_best ~runs (fun () ->
+            let cell = ref None in
+            let engine = Engine.create ~config records in
+            ignore
+              (Resim_sample.Sample.driver ~spec cell engine
+                : Engine.bounded);
+            report := !cell)
+      in
+      let report =
+        match !report with Some report -> report | None -> assert false
+      in
+      let full_ipc = Stats.ipc !full_stats in
+      { s_kernel = kernel_name;
+        s_scale = scale;
+        s_config_name = "reference";
+        spec;
+        intervals = List.length report.Resim_sample.Sample.intervals;
+        mean_ipc = report.Resim_sample.Sample.mean_ipc;
+        ci95 = report.Resim_sample.Sample.ci95;
+        full_ipc;
+        covered = Resim_sample.Sample.covers report full_ipc;
+        detailed_instructions =
+          report.Resim_sample.Sample.detailed_instructions;
+        warmed_instructions =
+          report.Resim_sample.Sample.warmed_instructions;
+        full_ns = full_seconds *. 1e9;
+        sampled_ns = sampled_seconds *. 1e9;
+        sample_speedup =
+          (if sampled_seconds > 0.0 then full_seconds /. sampled_seconds
+           else 0.0) })
+    (grid ~quick)
+
+let pp_sampled ppf sampled =
+  Format.fprintf ppf "@[<v>%-8s %-14s %5s %18s %8s %10s %10s %8s@,"
+    "kernel" "spec" "ivals" "IPC (sampled)" "full" "full ms" "sampl ms"
+    "speedup";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "%-8s %-14s %5d %9.4f +- %6.4f %8.4f %10.2f %10.2f %7.2fx%s@,"
+        s.s_kernel
+        (Resim_sample.Sample.spec_to_string s.spec)
+        s.intervals s.mean_ipc s.ci95 s.full_ipc (s.full_ns /. 1e6)
+        (s.sampled_ns /. 1e6) s.sample_speedup
+        (if s.covered then "" else "  [CI MISS]"))
+    sampled;
+  Format.fprintf ppf "@]"
+
 let find measurements ~kernel ~config_name ~scheduler =
   List.find_opt
     (fun m ->
@@ -171,23 +272,12 @@ let pp_table ppf measurements =
     measurements;
   Format.fprintf ppf "@]"
 
-(* Hand-rolled JSON: the repository deliberately has no JSON dependency
-   and every emitted value is numeric or a controlled identifier. *)
-let json_escape s =
-  let buffer = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buffer "\\\""
-      | '\\' -> Buffer.add_string buffer "\\\\"
-      | '\n' -> Buffer.add_string buffer "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buffer c)
-    s;
-  Buffer.contents buffer
+(* Hand-rolled JSON: the repository deliberately has no JSON dependency.
+   Free-form strings go through the shared escape helper so no kernel or
+   configuration name can break the document. *)
+let json_escape = Resim_core.Json.escape
 
-let to_json ?sweep_outcomes measurements =
+let to_json ?sweep_outcomes ?sampled measurements =
   let buffer = Buffer.create 4096 in
   Buffer.add_string buffer "{\n";
   Buffer.add_string buffer "  \"benchmark\": \"resim-engine-host-throughput\",\n";
@@ -270,11 +360,43 @@ let to_json ?sweep_outcomes measurements =
            (json_escape kernel) (json_escape config_name) ratio vs_seed
            (if index = List.length points - 1 then "" else ",")))
     points;
-  Buffer.add_string buffer "  ]\n}\n";
+  Buffer.add_string buffer "  ],\n";
+  (match sampled with
+  | None -> Buffer.add_string buffer "  \"sampled\": null\n"
+  | Some sampled ->
+      Buffer.add_string buffer "  \"sampled\": [\n";
+      List.iteri
+        (fun index s ->
+          Buffer.add_string buffer
+            (Printf.sprintf
+               "    {\"kernel\": \"%s\", \"scale\": %s, \"config\": \
+                \"%s\", \"spec\": \"%s\", \"intervals\": %d, \
+                \"mean_ipc\": %.4f, \"ci95\": %s, \"full_ipc\": %.4f, \
+                \"covered\": %b, \"detailed_instructions\": %d, \
+                \"warmed_instructions\": %d, \"full_ns\": %.0f, \
+                \"sampled_ns\": %.0f, \"speedup\": %.4f}%s\n"
+               (json_escape s.s_kernel)
+               (match s.s_scale with
+               | Some scale -> string_of_int scale
+               | None -> "null")
+               (json_escape s.s_config_name)
+               (json_escape (Resim_sample.Sample.spec_to_string s.spec))
+               s.intervals s.mean_ipc
+               (if Float.is_finite s.ci95 then
+                  Printf.sprintf "%.4f" s.ci95
+                else "null")
+               s.full_ipc s.covered s.detailed_instructions
+               s.warmed_instructions s.full_ns s.sampled_ns
+               s.sample_speedup
+               (if index = List.length sampled - 1 then "" else ",")))
+        sampled;
+      Buffer.add_string buffer "  ]\n");
+  Buffer.add_string buffer "}\n";
   Buffer.contents buffer
 
-let write_json ~path ?sweep_outcomes measurements =
+let write_json ~path ?sweep_outcomes ?sampled measurements =
   let channel = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out channel)
-    (fun () -> output_string channel (to_json ?sweep_outcomes measurements))
+    (fun () ->
+      output_string channel (to_json ?sweep_outcomes ?sampled measurements))

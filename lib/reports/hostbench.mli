@@ -50,16 +50,49 @@ val speedup_vs_seed :
     point — the end-to-end engine-core speedup this optimization work
     delivered. *)
 
+(** {1 Sampled simulation bench (DESIGN.md §13)} *)
+
+type sampled_measurement = {
+  s_kernel : string;
+  s_scale : int option;
+  s_config_name : string;
+  spec : Resim_sample.Sample.spec;
+  intervals : int;
+  mean_ipc : float;  (** the sampled estimate *)
+  ci95 : float;  (** [infinity] below two intervals (JSON [null]) *)
+  full_ipc : float;  (** the full detailed run on the same trace *)
+  covered : bool;  (** full-run IPC inside the sampled 95% CI *)
+  detailed_instructions : int;
+  warmed_instructions : int;
+  full_ns : float;  (** best-of-n full detailed engine run *)
+  sampled_ns : float;  (** best-of-n sampling-driver run *)
+  sample_speedup : float;  (** [full_ns /. sampled_ns] *)
+}
+
+val measure_sampled : ?quick:bool -> unit -> sampled_measurement list
+(** Engine-only comparison of a full detailed run against the sampling
+    driver on the identical pre-generated trace, one point per bench
+    kernel, reference configuration. The [covered] flag per point is
+    the statistical acceptance gate; the speedup column is the
+    host-throughput gain the sampling subsystem delivers. *)
+
+val pp_sampled : Format.formatter -> sampled_measurement list -> unit
+
 val to_json :
-  ?sweep_outcomes:Resim_sweep.Sweep.counts -> measurement list -> string
+  ?sweep_outcomes:Resim_sweep.Sweep.counts ->
+  ?sampled:sampled_measurement list ->
+  measurement list ->
+  string
 (** The full JSON document (pretty-printed, schema documented in
     README). [sweep_outcomes] are the per-job outcome counts from the
     harness's full-grid sweep (ok/failed/timed_out/truncated/retried);
-    when absent — e.g. quick mode — the key is emitted as [null]. *)
+    when absent — e.g. quick mode — the key is emitted as [null].
+    [sampled] is the sampled-simulation section; [null] when absent. *)
 
 val write_json :
   path:string ->
   ?sweep_outcomes:Resim_sweep.Sweep.counts ->
+  ?sampled:sampled_measurement list ->
   measurement list ->
   unit
 (** [to_json] to a file. *)

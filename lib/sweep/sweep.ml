@@ -15,17 +15,19 @@ type job = {
   records : Resim_trace.Record.t array option;
       (* pre-built trace overriding kernel generation *)
   timeout : float option;  (* per-job wall-clock budget, seconds *)
+  sample : Resim_sample.Sample.spec option;
+      (* sampled simulation instead of a full detailed run *)
 }
 
-let job ?label ?(scale = Evaluation) ?timeout ~config workload =
+let job ?label ?(scale = Evaluation) ?timeout ?sample ~config workload =
   let label =
     match label with
     | Some label -> label
     | None -> Resim_workloads.Workload.name_of workload
   in
-  { label; workload; config; scale; records = None; timeout }
+  { label; workload; config; scale; records = None; timeout; sample }
 
-let trace_job ?(label = "trace") ?timeout ~config records =
+let trace_job ?(label = "trace") ?timeout ?sample ~config records =
   { label;
     (* Placeholder for table rendering only: a pre-built trace never
        touches the kernel. *)
@@ -33,7 +35,8 @@ let trace_job ?(label = "trace") ?timeout ~config records =
     config;
     scale = Exact (Array.length records);
     records = Some records;
-    timeout }
+    timeout;
+    sample }
 
 let generator_config (config : Config.t) =
   { Resim_tracegen.Generator.predictor = config.predictor;
@@ -47,6 +50,7 @@ type result = {
   generated : Resim_tracegen.Generator.result;
   outcome : Resim_core.Resim.outcome;
   telemetry : telemetry;
+  sample_report : Resim_sample.Sample.report option;
 }
 
 let program_of job =
@@ -91,10 +95,30 @@ let acquire job =
 
 let run_job job =
   validate_job job;
-  let started = Unix.gettimeofday () in
   let generated = acquire job in
-  let outcome =
-    Resim_core.Resim.simulate_trace ~config:job.config generated.records
+  (* The wall-clock window opens after trace acquisition: host_mips is
+     an engine-throughput figure, and generation (often the longer
+     half) must not dilute it. A regression test pins this. *)
+  let started = Unix.gettimeofday () in
+  let outcome, sample_report =
+    match job.sample with
+    | None ->
+        ( Resim_core.Resim.simulate_trace ~config:job.config
+            generated.records,
+          None )
+    | Some spec -> (
+        (* Fail-fast contract: re-raise what a direct engine run would
+           have thrown. *)
+        match
+          Resim_sample.Sample.run ~config:job.config ~spec
+            generated.records
+        with
+        | Stdlib.Ok (robust, report) ->
+            (robust.Resim_core.Resim.outcome, Some report)
+        | Stdlib.Error (Resim_core.Resim.Fault fault) ->
+            raise (Fault.Trace_fault fault)
+        | Stdlib.Error (Resim_core.Resim.Deadlock d) ->
+            raise (Engine.Deadlock d))
   in
   let wall_seconds = Unix.gettimeofday () -. started in
   let committed =
@@ -103,7 +127,8 @@ let run_job job =
   let host_mips =
     if wall_seconds > 0.0 then committed /. wall_seconds /. 1e6 else 0.0
   in
-  { job; generated; outcome; telemetry = { wall_seconds; host_mips } }
+  { job; generated; outcome; telemetry = { wall_seconds; host_mips };
+    sample_report }
 
 (* ------------------------------------------------------------------ *)
 (* Per-job fault domains: one job's corrupt trace, deadlock, timeout or
@@ -205,14 +230,29 @@ let attempt_unsafe ~policy job : outcome =
             fun () -> Unix.gettimeofday () > limit)
           timeout
       in
-      match
-        Resim_core.Resim.simulate_robust ~config:job.config
-          ?watchdog:policy.watchdog ?max_cycles:policy.max_cycles ?deadline
-          generated.Resim_tracegen.Generator.records
-      with
+      let simulated =
+        match job.sample with
+        | None ->
+            Stdlib.Result.map
+              (fun robust -> (robust, None))
+              (Resim_core.Resim.simulate_robust ~config:job.config
+                 ?watchdog:policy.watchdog ?max_cycles:policy.max_cycles
+                 ?deadline generated.Resim_tracegen.Generator.records)
+        | Some spec ->
+            (* Sampled under the same budgets: the driver threads the
+               deadline and cycle ceiling through every detailed
+               interval, so truncation behaves like an unsampled run. *)
+            Stdlib.Result.map
+              (fun (robust, report) -> (robust, Some report))
+              (Resim_sample.Sample.run ~config:job.config
+                 ?watchdog:policy.watchdog ?max_cycles:policy.max_cycles
+                 ?deadline ~spec
+                 generated.Resim_tracegen.Generator.records)
+      in
+      match simulated with
       | Stdlib.Error (Resim_core.Resim.Fault fault) -> Failed (Fault fault)
       | Stdlib.Error (Resim_core.Resim.Deadlock d) -> Failed (Deadlock d)
-      | Stdlib.Ok robust ->
+      | Stdlib.Ok (robust, sample_report) ->
           let wall_seconds = Unix.gettimeofday () -. started in
           let outcome = robust.Resim_core.Resim.outcome in
           let committed =
@@ -223,12 +263,13 @@ let attempt_unsafe ~policy job : outcome =
             else 0.0
           in
           let result =
-            { job; generated; outcome; telemetry = { wall_seconds; host_mips } }
+            { job; generated; outcome;
+              telemetry = { wall_seconds; host_mips }; sample_report }
           in
           (match robust.Resim_core.Resim.stop with
           | Engine.Drained -> Ok result
           | Engine.Time_budget -> Timed_out wall_seconds
-          | Engine.Cycle_budget -> (
+          | Engine.Cycle_budget | Engine.Commit_target -> (
               match robust.Resim_core.Resim.resume with
               | Some checkpoint -> Truncated (result, checkpoint)
               | None -> Ok result)))
@@ -408,20 +449,6 @@ let pp_stalls ppf results =
     (aggregate_stall_causes results);
   Format.fprintf ppf "@]"
 
-let json_escape s =
-  let buffer = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buffer "\\\""
-      | '\\' -> Buffer.add_string buffer "\\\\"
-      | '\n' -> Buffer.add_string buffer "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buffer c)
-    s;
-  Buffer.contents buffer
-
 let outcome_tag = function
   | Ok _ -> "ok"
   | Failed failure -> failure_code failure
@@ -436,7 +463,7 @@ let metrics_json report =
       if i > 0 then Buffer.add_char buffer ',';
       Buffer.add_string buffer
         (Printf.sprintf "{\"label\":\"%s\",\"outcome\":\"%s\",\"attempts\":%d"
-           (json_escape jr.job.label)
+           (Resim_core.Json.escape jr.job.label)
            (outcome_tag jr.outcome)
            jr.attempts);
       (match jr.outcome with
@@ -445,6 +472,12 @@ let metrics_json report =
             (Printf.sprintf
                ",\"telemetry\":{\"wall_seconds\":%.6f,\"host_mips\":%.4f}"
                result.telemetry.wall_seconds result.telemetry.host_mips);
+          (match result.sample_report with
+          | Some report ->
+              Buffer.add_string buffer ",\"sample\":";
+              Buffer.add_string buffer
+                (Resim_sample.Sample.report_to_json report)
+          | None -> ());
           Buffer.add_string buffer ",\"metrics\":";
           Buffer.add_string buffer (Stats.to_json result.outcome.stats)
       | Failed _ | Timed_out _ -> Buffer.add_string buffer ",\"metrics\":null");

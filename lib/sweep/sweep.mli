@@ -33,12 +33,18 @@ type job = {
       (** pre-built trace overriding kernel generation *)
   timeout : float option;
       (** per-job wall-clock budget in seconds, overriding the policy *)
+  sample : Resim_sample.Sample.spec option;
+      (** run sampled (functional warm-up + detailed intervals,
+          DESIGN.md §13) instead of fully detailed; the statistics then
+          cover only the detailed portions and the result carries the
+          sampled IPC report *)
 }
 
 val job :
   ?label:string ->
   ?scale:scale ->
   ?timeout:float ->
+  ?sample:Resim_sample.Sample.spec ->
   config:Resim_core.Config.t ->
   Resim_workloads.Workload.t ->
   job
@@ -47,6 +53,7 @@ val job :
 val trace_job :
   ?label:string ->
   ?timeout:float ->
+  ?sample:Resim_sample.Sample.spec ->
   config:Resim_core.Config.t ->
   Resim_trace.Record.t array ->
   job
@@ -62,7 +69,9 @@ val generator_config :
     and a 20 M instruction budget. *)
 
 type telemetry = {
-  wall_seconds : float;   (** tracegen + timing run, this job only *)
+  wall_seconds : float;
+      (** the simulate phase only — trace generation/acquisition is
+          excluded from the window on every path *)
   host_mips : float;
       (** committed simulated instructions per host wall-clock second,
           in millions; 0 when the clock resolution swallowed the run *)
@@ -73,6 +82,9 @@ type result = {
   generated : Resim_tracegen.Generator.result;
   outcome : Resim_core.Resim.outcome;
   telemetry : telemetry;
+  sample_report : Resim_sample.Sample.report option;
+      (** the sampled-IPC estimate when the job ran with a sampling
+          spec *)
 }
 
 exception Invalid_config of string

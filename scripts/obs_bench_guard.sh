@@ -67,3 +67,36 @@ if geomean < 1.0 - tolerance:
     sys.exit(1)
 print("obs-guard: clean")
 EOF
+
+# --- sampled configuration gate --------------------------------------
+# The bench document also carries the sampled-simulation section (one
+# sampled run per kernel at the reference configuration, DESIGN.md
+# §13): every point's 95% CI must cover its own full-run IPC, and the
+# engine-level speedup must stay real (> 1x). A statistics or warm-up
+# regression shows up here before it shows up in anyone's results.
+python3 - "$TMP/bench.json" <<'EOF'
+import json, sys
+
+sampled = json.load(open(sys.argv[1])).get("sampled")
+if not sampled:
+    print("obs-guard: skipped sampled gate (no sampled section)")
+    sys.exit(0)
+
+failed = False
+for point in sampled:
+    flag = "ok" if point["covered"] else "CI MISS"
+    print(f"sampled {point['kernel']:8s} {point['spec']:14s} "
+          f"IPC {point['mean_ipc']:6.4f} vs full {point['full_ipc']:6.4f}  "
+          f"speedup {point['speedup']:5.2f}x  {flag}")
+    if not point["covered"]:
+        failed = True
+    if point["speedup"] <= 1.0:
+        print(f"obs-guard: sampled {point['kernel']} is not faster "
+              f"than the full run")
+        failed = True
+
+if failed:
+    print("obs-guard: FAILED — sampled configuration gate")
+    sys.exit(1)
+print("obs-guard: sampled gate clean")
+EOF

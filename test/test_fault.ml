@@ -299,7 +299,7 @@ let test_checkpoint_resume_bit_identical () =
       let checkpoint =
         match Checkpoint.of_string (Checkpoint.to_string checkpoint) with
         | Ok checkpoint -> checkpoint
-        | Error message -> Alcotest.fail message
+        | Error error -> Alcotest.fail (Checkpoint.error_to_string error)
       in
       match Resim.resume_trace ~checkpoint records with
       | Error message -> Alcotest.fail message

@@ -18,6 +18,7 @@ let () =
          Test_sweep.suite;
          Test_check.suite;
          Test_fault.suite;
+         Test_sample.suite;
          Test_extensions.suite;
          Test_consistency.suite;
          Test_tools.suite ])

@@ -1,0 +1,578 @@
+(* Tests for the sampled-simulation layer (DESIGN.md §13) and the
+   hardening satellites that shipped with it: the differential suite
+   asserting the sampled IPC confidence interval covers the full-run
+   IPC across the kernel x organization x scheduler grid, determinism
+   for a fixed seed, budget composition, the structured RSM-K
+   checkpoint parse errors, the sweep timed-region pin (host_mips must
+   exclude trace generation), the shared JSON escape, and the CLI exit
+   code contract. *)
+
+module Config = Resim_core.Config
+module Engine = Resim_core.Engine
+module Resim = Resim_core.Resim
+module Stats = Resim_core.Stats
+module Checkpoint = Resim_core.Checkpoint
+module Json = Resim_core.Json
+module Sample = Resim_sample.Sample
+module Sweep = Resim_sweep.Sweep
+module Workload = Resim_workloads.Workload
+module Generator = Resim_tracegen.Generator
+module Hostbench = Resim_reports.Hostbench
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let str = Alcotest.string
+
+let records_of ?(kernel = "gzip") scale =
+  let workload = Workload.find kernel in
+  let program = Workload.program_of workload ~scale () in
+  (Generator.run program).records
+
+let base_records = lazy (records_of 256)
+
+let spec_t =
+  Alcotest.testable
+    (fun ppf spec -> Format.pp_print_string ppf (Sample.spec_to_string spec))
+    ( = )
+
+(* --- spec parsing ------------------------------------------------------ *)
+
+let test_spec_parse_ok () =
+  (match Sample.spec_of_string "1000:19000" with
+  | Ok spec ->
+      check spec_t "two fields, seed defaults"
+        { Sample.detail = 1000; warmup = 19000; seed = 0 }
+        spec
+  | Error message -> Alcotest.fail message);
+  (match Sample.spec_of_string "500:4500:7" with
+  | Ok spec ->
+      check spec_t "three fields"
+        { Sample.detail = 500; warmup = 4500; seed = 7 }
+        spec
+  | Error message -> Alcotest.fail message);
+  (* zero warm-up is a legal (if pointless) schedule *)
+  match Sample.spec_of_string "1:0" with
+  | Ok spec -> check int "warmup may be zero" 0 spec.Sample.warmup
+  | Error message -> Alcotest.fail message
+
+let test_spec_round_trip () =
+  List.iter
+    (fun spec ->
+      match Sample.spec_of_string (Sample.spec_to_string spec) with
+      | Ok parsed -> check spec_t "round trip" spec parsed
+      | Error message -> Alcotest.fail message)
+    [ { Sample.detail = 1; warmup = 0; seed = 0 };
+      { Sample.detail = 1000; warmup = 19000; seed = 0 };
+      { Sample.detail = 500; warmup = 4500; seed = 12345 } ]
+
+let test_spec_parse_errors () =
+  List.iter
+    (fun (raw, fragment) ->
+      match Sample.spec_of_string raw with
+      | Ok spec ->
+          Alcotest.fail
+            (Printf.sprintf "%S parsed as %s" raw
+               (Sample.spec_to_string spec))
+      | Error message ->
+          let contains =
+            let h = String.length message and n = String.length fragment in
+            let rec scan i =
+              i + n <= h
+              && (String.sub message i n = fragment || scan (i + 1))
+            in
+            n = 0 || scan 0
+          in
+          check bool
+            (Printf.sprintf "%S error names the field (%S in %S)" raw
+               fragment message)
+            true contains)
+    [ ("", "expected");
+      ("1000", "expected");
+      ("0:100", "detail");
+      ("-5:100", "detail");
+      ("10:x", "warmup");
+      ("10:-1", "warmup");
+      ("10:5:-2", "seed");
+      ("10:5:zz", "seed");
+      ("1:2:3:4", "expected") ]
+
+(* --- covers / report arithmetic ---------------------------------------- *)
+
+let synthetic_report ~mean_ipc ~ci95 =
+  { Sample.spec = { Sample.detail = 100; warmup = 900; seed = 0 };
+    initial_offset = 0;
+    intervals = [];
+    discarded_partial = 0;
+    mean_ipc;
+    ci95;
+    detailed_instructions = 0;
+    warmed_instructions = 0 }
+
+let test_covers () =
+  (* 0.125 is exact in binary, so the boundary check is not at the
+     mercy of rounding *)
+  let report = synthetic_report ~mean_ipc:2.0 ~ci95:0.125 in
+  check bool "inside" true (Sample.covers report 1.95);
+  check bool "at the boundary" true (Sample.covers report 2.125);
+  check bool "outside" false (Sample.covers report 2.2);
+  check bool "nan never covered" false (Sample.covers report Float.nan);
+  let vacuous = synthetic_report ~mean_ipc:2.0 ~ci95:infinity in
+  check bool "infinite CI is vacuously covering" true
+    (Sample.covers vacuous 100.0)
+
+(* --- engine warm-up primitives ----------------------------------------- *)
+
+let test_functional_warmup_advances () =
+  let records = Lazy.force base_records in
+  let full =
+    Stats.get_int Stats.committed (Resim.simulate_trace records).stats
+  in
+  let engine = Engine.create records in
+  check bool "fresh pipeline is empty" true (Engine.pipeline_empty engine);
+  let warmed = Engine.functional_warmup engine ~max_instructions:50 in
+  check int "warms exactly the requested instructions" 50 warmed;
+  check bool "cursor advanced" true (Engine.cursor engine > 0);
+  check bool "no cycles burned" true (Engine.cycle engine = 0L);
+  (* The detailed remainder picks up where the warm-up left off. *)
+  (match Engine.run_bounded engine with
+  | { Engine.stop = Engine.Drained; _ } -> ()
+  | _ -> Alcotest.fail "remainder did not drain");
+  check int "warmed + detailed covers the whole trace" full
+    (warmed + Stats.get_int Stats.committed (Engine.stats engine));
+  (* Asking for more than remains warms what is left and stops. *)
+  let engine = Engine.create records in
+  let all = Engine.functional_warmup engine ~max_instructions:max_int in
+  check int "warm-up stops at the end of the trace" full all
+
+let test_commit_target () =
+  let records = Lazy.force base_records in
+  let engine = Engine.create records in
+  let bounded = Engine.run_bounded ~max_commits:100 engine in
+  check bool "stops on the commit target" true
+    (bounded.Engine.stop = Engine.Commit_target);
+  let committed = Stats.get_int Stats.committed (Engine.stats engine) in
+  check bool "committed reached the target" true (committed >= 100);
+  (* Overshoot is bounded by one commit window. *)
+  check bool "overshoot within one cycle's commits" true
+    (committed <= 100 + (Engine.config engine).Config.width);
+  check bool "truncated run carries a resume point" true
+    (bounded.Engine.resume <> None);
+  (* The target is absolute: a second call with the same target is a
+     no-op, a higher target continues. *)
+  let again = Engine.run_bounded ~max_commits:100 engine in
+  check bool "same target is an immediate stop" true
+    (again.Engine.stop = Engine.Commit_target);
+  check int "no further commits" committed
+    (Stats.get_int Stats.committed (Engine.stats engine));
+  match Engine.run_bounded engine with
+  | { Engine.stop = Engine.Drained; _ } -> ()
+  | _ -> Alcotest.fail "unbounded continuation did not drain"
+
+(* --- the differential suite -------------------------------------------- *)
+
+let org_sched_grid =
+  List.concat_map
+    (fun organization ->
+      List.map
+        (fun scheduler ->
+          { Config.reference with organization; scheduler })
+        [ Config.Scan; Config.Event ])
+    [ Config.Simple; Config.Improved; Config.Optimized ]
+
+(* For every kernel and every (organization, scheduler) point: the
+   full detailed run's IPC must fall inside the sampled run's reported
+   95% confidence interval, non-vacuously (enough intervals for a
+   finite CI). This is the acceptance gate from the issue. *)
+let test_differential_grid () =
+  let spec = { Sample.detail = 200; warmup = 1800; seed = 11 } in
+  List.iter
+    (fun workload ->
+      let name = Workload.name_of workload in
+      let program = Workload.program_of workload ~scale:4000 () in
+      let records = (Generator.run program).records in
+      List.iter
+        (fun config ->
+          let label =
+            Printf.sprintf "%s/%s/%s" name
+              (Config.organization_name config.Config.organization)
+              (Config.scheduler_name config.Config.scheduler)
+          in
+          let full_ipc =
+            Stats.ipc (Resim.simulate_trace ~config records).stats
+          in
+          match Sample.run ~config ~spec records with
+          | Error failure ->
+              Alcotest.fail (label ^ ": " ^ Resim.failure_to_string failure)
+          | Ok (robust, report) ->
+              check bool (label ^ ": sampled run drains") true
+                (robust.Resim.stop = Engine.Drained);
+              check bool (label ^ ": enough intervals for a finite CI")
+                true
+                (Float.is_finite report.Sample.ci95
+                && List.length report.Sample.intervals >= 2);
+              check bool
+                (Printf.sprintf "%s: CI covers full IPC (%.4f in %.4f +- %.4f)"
+                   label full_ipc report.Sample.mean_ipc report.Sample.ci95)
+                true
+                (Sample.covers report full_ipc))
+        org_sched_grid)
+    Workload.all
+
+let test_determinism () =
+  let records = Lazy.force base_records in
+  let spec = { Sample.detail = 100; warmup = 400; seed = 42 } in
+  let run () =
+    match Sample.run ~spec records with
+    | Ok (_, report) -> report
+    | Error failure -> Alcotest.fail (Resim.failure_to_string failure)
+  in
+  let first = run () and second = run () in
+  check bool "identical report for a fixed seed" true (first = second);
+  (* A different seed moves the initial offset (and with it the
+     interval boundaries) for this period. *)
+  let moved =
+    match Sample.run ~spec:{ spec with Sample.seed = 43 } records with
+    | Ok (_, report) -> report
+    | Error failure -> Alcotest.fail (Resim.failure_to_string failure)
+  in
+  check bool "seed moves the initial offset" true
+    (moved.Sample.initial_offset <> first.Sample.initial_offset)
+
+let test_report_accounting () =
+  let records = Lazy.force base_records in
+  let full =
+    Stats.get_int Stats.committed (Resim.simulate_trace records).stats
+  in
+  let spec = { Sample.detail = 100; warmup = 400; seed = 3 } in
+  match Sample.run ~spec records with
+  | Error failure -> Alcotest.fail (Resim.failure_to_string failure)
+  | Ok (_, report) ->
+      check bool "measured something" true
+        (report.Sample.detailed_instructions > 0);
+      check bool "warmed something" true
+        (report.Sample.warmed_instructions > 0);
+      (* Detailed + warmed + priming partitions the correct path. *)
+      check bool "accounting never exceeds the trace" true
+        (report.Sample.detailed_instructions
+         + report.Sample.warmed_instructions
+        <= full);
+      List.iteri
+        (fun index interval ->
+          check int "intervals are in order" index interval.Sample.index;
+          check bool "interval IPC is cycles/instructions" true
+            (Float.abs
+               (interval.Sample.interval_ipc
+               -. float_of_int interval.Sample.instructions
+                  /. Int64.to_float interval.Sample.cycles)
+            < 1e-9))
+        report.Sample.intervals
+
+(* --- budget composition ------------------------------------------------ *)
+
+let test_sample_cycle_budget () =
+  let records = Lazy.force base_records in
+  let spec = { Sample.detail = 100; warmup = 100; seed = 0 } in
+  match Sample.run ~max_cycles:120L ~spec records with
+  | Error failure -> Alcotest.fail (Resim.failure_to_string failure)
+  | Ok (robust, report) ->
+      check bool "stops on the cycle budget" true
+        (robust.Resim.stop = Engine.Cycle_budget);
+      (match robust.Resim.resume with
+      | Some checkpoint ->
+          check bool "checkpoint pinned to the budget" true
+            (checkpoint.Checkpoint.cycle = 120L)
+      | None -> Alcotest.fail "truncated sampled run must yield a resume");
+      (* The partial report is still published. *)
+      check bool "partial report accounts its windows" true
+        (report.Sample.detailed_instructions >= 0)
+
+let test_sample_deadline () =
+  let records = Lazy.force base_records in
+  (* The engine polls the deadline every 256 cycles, so the detailed
+     interval must be long enough to reach a poll point. *)
+  let spec = { Sample.detail = 2000; warmup = 0; seed = 0 } in
+  match Sample.run ~deadline:(fun () -> true) ~spec records with
+  | Error failure -> Alcotest.fail (Resim.failure_to_string failure)
+  | Ok (robust, _) ->
+      check bool "stops on the deadline" true
+        (robust.Resim.stop = Engine.Time_budget)
+
+let test_sweep_sampled_job () =
+  let records = Lazy.force base_records in
+  let spec = { Sample.detail = 100; warmup = 400; seed = 5 } in
+  let job =
+    Sweep.trace_job ~label:"sampled" ~sample:spec ~config:Config.reference
+      records
+  in
+  let result = Sweep.run_job job in
+  (match result.Sweep.sample_report with
+  | Some report ->
+      check bool "sweep result carries the sampled report" true
+        (report.Sample.detailed_instructions > 0)
+  | None -> Alcotest.fail "sampled job lost its report");
+  (* And through the pooled robust path. *)
+  match (Sweep.run ~jobs:1 [ job ]).Sweep.job_reports with
+  | [ { Sweep.outcome = Sweep.Ok result; _ } ] ->
+      check bool "pooled sampled job keeps the report" true
+        (result.Sweep.sample_report <> None)
+  | _ -> Alcotest.fail "sampled sweep job did not complete"
+
+(* --- checkpoint: structured RSM-K parse errors ------------------------- *)
+
+let checkpoint_error raw =
+  match Checkpoint.of_string raw with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" raw)
+  | Error error -> error
+
+let test_checkpoint_malformations () =
+  List.iter
+    (fun (raw, code, line) ->
+      let error = checkpoint_error raw in
+      check str (Printf.sprintf "%S code" raw) code error.Checkpoint.code;
+      check int (Printf.sprintf "%S line" raw) line error.Checkpoint.line)
+    [ (* whole-document conditions *)
+      ("", "RSM-K001", 0);
+      ("\n\n", "RSM-K001", 0);
+      (* bad header *)
+      ("RSCP 2\ncycle 1\ncursor 2\n", "RSM-K002", 1);
+      ("bogus\ncycle 1\ncursor 2\n", "RSM-K002", 1);
+      (* malformed line (line numbers are raw positions in the
+         document, so the blank line still counts) *)
+      ("RSCP 1\ncycle 1\n\nwhat is this\ncursor 2\n", "RSM-K003", 4);
+      ("RSCP 1\ncycle 1 extra\ncursor 2\n", "RSM-K003", 2);
+      (* unparseable values: signed, hex and underscores are refused
+         even though OCaml's own of_string accepts them *)
+      ("RSCP 1\ncycle -1\ncursor 2\n", "RSM-K004", 2);
+      ("RSCP 1\ncycle 0x10\ncursor 2\n", "RSM-K004", 2);
+      ("RSCP 1\ncycle 1_000\ncursor 2\n", "RSM-K004", 2);
+      ("RSCP 1\ncycle 1\ncursor +2\n", "RSM-K004", 3);
+      ("RSCP 1\ncycle 1\ncursor 2\ncounter commit x\n", "RSM-K004", 4);
+      (* duplicates *)
+      ("RSCP 1\ncycle 1\ncycle 2\ncursor 2\n", "RSM-K005", 3);
+      ("RSCP 1\ncycle 1\ncursor 2\ncursor 3\n", "RSM-K005", 4);
+      ( "RSCP 1\ncycle 1\ncursor 2\ncounter a 1\ncounter a 2\n",
+        "RSM-K005", 5 );
+      (* missing required keys *)
+      ("RSCP 1\ncursor 2\n", "RSM-K006", 0);
+      ("RSCP 1\ncycle 1\n", "RSM-K006", 0) ]
+
+let test_checkpoint_load_io_error () =
+  match Checkpoint.load "/nonexistent/definitely/missing.rscp" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error error ->
+      check str "IO failures are RSM-K000" "RSM-K000" error.Checkpoint.code
+
+let test_checkpoint_error_to_string () =
+  check str "with line"
+    "RSM-K003: line 4: malformed line \"x\""
+    (Checkpoint.error_to_string
+       { Checkpoint.code = "RSM-K003"; line = 4;
+         reason = "malformed line \"x\"" });
+  check str "whole-document" "RSM-K001: empty checkpoint"
+    (Checkpoint.error_to_string
+       { Checkpoint.code = "RSM-K001"; line = 0; reason = "empty checkpoint" })
+
+(* --- sweep: the timed region excludes trace generation ----------------- *)
+
+(* A kernel whose trace *generation* is slow but whose simulation is
+   tiny: if host_mips's wall-clock window ever includes the generation
+   phase again, the measured wall time jumps past the sleep and this
+   test fails. *)
+module Slow_generation = struct
+  let name = "slowgen"
+  let description = "deliberately slow trace generation (timing test)"
+
+  let program ?scale () =
+    Unix.sleepf 0.3;
+    Workload.program_of (Workload.find "gzip") ?scale ()
+
+  let evaluation_scale = 256
+
+  let profile ~instructions =
+    Workload.profile_of (Workload.find "gzip") ~instructions
+end
+
+let test_sweep_times_simulate_only () =
+  let job =
+    Sweep.job ~label:"slowgen" ~scale:(Sweep.Exact 256)
+      ~config:Config.reference
+      (module Slow_generation : Resim_workloads.Kernel_sig.S)
+  in
+  (* Serial fail-fast path. *)
+  let result = Sweep.run_job job in
+  check bool "wall_seconds excludes generation (run_job)" true
+    (result.Sweep.telemetry.Sweep.wall_seconds < 0.25);
+  check bool "host_mips is positive" true
+    (result.Sweep.telemetry.Sweep.host_mips > 0.0);
+  (* Pooled robust path. *)
+  match (Sweep.run ~jobs:1 [ job ]).Sweep.job_reports with
+  | [ { Sweep.outcome = Sweep.Ok result; _ } ] ->
+      check bool "wall_seconds excludes generation (pooled)" true
+        (result.Sweep.telemetry.Sweep.wall_seconds < 0.25)
+  | _ -> Alcotest.fail "slow-generation job did not complete"
+
+(* --- JSON: every emitter produces parseable documents ------------------ *)
+
+let validates label document =
+  match Json.validate document with
+  | Ok () -> ()
+  | Error message ->
+      Alcotest.fail (Printf.sprintf "%s: invalid JSON (%s)" label message)
+
+(* Free-form strings reach the emitters through job labels, profiler
+   section names and kernel names; this is the string that broke the
+   old per-module escapers. *)
+let evil = "a\"b\\c\ntab\tctrl\x01slash/close}"
+
+let test_emitters_parse () =
+  let records = Lazy.force base_records in
+  let outcome = Resim.simulate_trace records in
+  validates "Stats.to_json" (Stats.to_json outcome.Resim.stats);
+  (* sweep metrics with an adversarial label, sampled and unsampled *)
+  let spec = { Sample.detail = 100; warmup = 400; seed = 1 } in
+  let report =
+    Sweep.run ~jobs:1
+      [ Sweep.trace_job ~label:evil ~config:Config.reference records;
+        Sweep.trace_job ~label:evil ~sample:spec ~config:Config.reference
+          records ]
+  in
+  validates "Sweep.metrics_json" (Sweep.metrics_json report);
+  (* sample report and the spliced --metrics document *)
+  (match Sample.run ~spec records with
+  | Error failure -> Alcotest.fail (Resim.failure_to_string failure)
+  | Ok (robust, sample_report) ->
+      validates "Sample.report_to_json" (Sample.report_to_json sample_report);
+      validates "Sample.splice_metrics"
+        (Sample.splice_metrics
+           ~stats_json:(Stats.to_json robust.Resim.outcome.Resim.stats)
+           sample_report));
+  (* profiler sections with adversarial names *)
+  let prof = Resim_obs.Prof.create () in
+  Resim_obs.Prof.time prof evil (fun () -> ());
+  validates "Prof.to_json" (Resim_obs.Prof.to_json prof);
+  (* the bench document's skeleton (null sweep/sampled sections) *)
+  validates "Hostbench.to_json" (Hostbench.to_json [])
+
+let property_escape_round_trips =
+  QCheck.Test.make ~name:"any string: Json.quote emits parseable JSON"
+    ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      match Json.validate (Printf.sprintf "{\"k\":%s}" (Json.quote s)) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let property_sample_spec_json =
+  QCheck.Test.make
+    ~name:"any spec: the sampled report JSON is parseable" ~count:20
+    QCheck.(pair (int_range 1 50) (int_range 0 200))
+    (fun (detail, warmup) ->
+      let records = Lazy.force base_records in
+      let spec = { Sample.detail; warmup; seed = detail + warmup } in
+      match Sample.run ~spec records with
+      | Error _ -> false
+      | Ok (_, report) ->
+          Json.validate (Sample.report_to_json report) = Ok ())
+
+(* --- CLI exit codes ---------------------------------------------------- *)
+
+(* The binary sits next to the test executable's directory inside
+   _build/default. *)
+let cli =
+  Filename.concat
+    (Filename.concat
+       (Filename.dirname (Filename.dirname Sys.executable_name))
+       "bin")
+    "resim_cli.exe"
+
+let run_cli args =
+  Sys.command
+    (Printf.sprintf "%s %s > /dev/null 2> /dev/null"
+       (Filename.quote cli) args)
+
+let write_tmp suffix content =
+  let path = Filename.temp_file "resim_test" suffix in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let test_cli_exit_codes () =
+  check bool ("CLI binary present at " ^ cli) true (Sys.file_exists cli);
+  let corrupt_trace = write_tmp ".trace" "this is not a trace\n" in
+  let bad_checkpoint = write_tmp ".rscp" "RSCP 1\ncycle 0x10\ncursor 2\n" in
+  let cases =
+    [ ("clean simulate", "simulate -k gzip -s 200", 0);
+      ("sampled simulate", "simulate -k gzip -s 2000 --sample 50:450:3", 0);
+      ("bad --sample spec", "simulate -k gzip -s 200 --sample nonsense", 2);
+      ("zero-detail --sample", "simulate -k gzip -s 200 --sample 0:100", 2);
+      ("sweep bad --sample", "sweep --quick --sample 0:5", 2);
+      ( "sample + resume refused",
+        Printf.sprintf "simulate -k gzip --sample 50:450 --resume %s"
+          (Filename.quote bad_checkpoint),
+        2 );
+      ( "malformed checkpoint refused",
+        Printf.sprintf "simulate -k gzip -s 200 --resume %s"
+          (Filename.quote bad_checkpoint),
+        2 );
+      ("invalid config", "vhdl -w 0", 2);
+      ( "lint errors",
+        Printf.sprintf "lint %s" (Filename.quote corrupt_trace),
+        1 );
+      ( "trace fault",
+        Printf.sprintf "simulate -t %s" (Filename.quote corrupt_trace),
+        3 ) ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove corrupt_trace;
+      Sys.remove bad_checkpoint)
+    (fun () ->
+      List.iter
+        (fun (label, args, expected) ->
+          check int (Printf.sprintf "%s (`resim %s`)" label args) expected
+            (run_cli args))
+        cases)
+
+let suite =
+  [ ("sample:spec",
+     [ Alcotest.test_case "valid specs parse" `Quick test_spec_parse_ok;
+       Alcotest.test_case "specs round-trip" `Quick test_spec_round_trip;
+       Alcotest.test_case "errors name the field" `Quick
+         test_spec_parse_errors ]);
+    ("sample:engine",
+     [ Alcotest.test_case "functional warm-up advances state" `Quick
+         test_functional_warmup_advances;
+       Alcotest.test_case "commit target stops and resumes" `Quick
+         test_commit_target ]);
+    ("sample:estimate",
+     [ Alcotest.test_case "covers arithmetic" `Quick test_covers;
+       Alcotest.test_case "deterministic for a fixed seed" `Quick
+         test_determinism;
+       Alcotest.test_case "report accounting is consistent" `Quick
+         test_report_accounting;
+       Alcotest.test_case "CI covers full IPC across the grid" `Slow
+         test_differential_grid ]);
+    ("sample:budgets",
+     [ Alcotest.test_case "cycle budget truncates with a checkpoint" `Quick
+         test_sample_cycle_budget;
+       Alcotest.test_case "deadline truncates" `Quick test_sample_deadline;
+       Alcotest.test_case "sweep jobs carry sampled reports" `Quick
+         test_sweep_sampled_job ]);
+    ("sample:checkpoint",
+     [ Alcotest.test_case "every malformation class has its code" `Quick
+         test_checkpoint_malformations;
+       Alcotest.test_case "IO failure is RSM-K000" `Quick
+         test_checkpoint_load_io_error;
+       Alcotest.test_case "error rendering" `Quick
+         test_checkpoint_error_to_string ]);
+    ("sample:sweep-timing",
+     [ Alcotest.test_case "host_mips window excludes generation" `Quick
+         test_sweep_times_simulate_only ]);
+    ("sample:json",
+     [ Alcotest.test_case "every emitter parses" `Quick test_emitters_parse;
+       QCheck_alcotest.to_alcotest property_escape_round_trips;
+       QCheck_alcotest.to_alcotest property_sample_spec_json ]);
+    ("sample:cli",
+     [ Alcotest.test_case "exit-code table" `Slow test_cli_exit_codes ]) ]
