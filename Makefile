@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check lint bench faultsmoke obs-smoke obs-guard sample-smoke
+.PHONY: all build test check lint bench faultsmoke obs-smoke obs-guard sample-smoke spec-smoke
 
 # Wall-clock guard on the PR gate: a hang in any step (the very class
 # of bug the robustness layer exists to prevent) fails the gate after
@@ -24,9 +24,10 @@ lint:
 # The PR gate: formatting, full build, source lint, test suite, a
 # bench smoke that exercises the --json path end to end, the
 # fault-injection smoke (every corruption class through the CLI), the
-# observability smoke (pipetrace + metrics + schema + profile), and
-# the sampled-simulation smoke (--sample end to end, determinism,
-# spec grammar, sampled sweep).
+# observability smoke (pipetrace + metrics + schema + profile), the
+# sampled-simulation smoke (--sample end to end, determinism, spec
+# grammar, sampled sweep), and the specialization smoke
+# (--no-specialize bit-identity across every CLI surface).
 check:
 	$(TIMEOUT) 300 dune build @fmt
 	$(TIMEOUT) 900 dune build
@@ -36,6 +37,7 @@ check:
 	$(MAKE) faultsmoke
 	$(MAKE) obs-smoke
 	$(MAKE) sample-smoke
+	$(MAKE) spec-smoke
 
 # Every Fault_inject corruption class end to end through resim
 # faultgen / lint / simulate --degraded, each step under timeout.
@@ -51,6 +53,12 @@ obs-smoke: build
 # determinism, spec grammar) and one sampled sweep (DESIGN.md §13).
 sample-smoke: build
 	$(TIMEOUT) 900 sh scripts/sample_smoke.sh
+
+# Engine specialization end to end (DESIGN.md §14): default runs pick
+# a staged variant, --no-specialize forces the generic engine, and
+# statistics/pipetrace/metrics are bit-identical either way.
+spec-smoke: build
+	$(TIMEOUT) 900 sh scripts/spec_smoke.sh
 
 # No-sink throughput guard: full bench grid vs the committed
 # BENCH_engine.json anchors, gated on the geometric mean (default 2%

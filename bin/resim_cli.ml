@@ -77,6 +77,23 @@ let width_arg =
     value & opt int 4
     & info [ "w"; "width" ] ~docv:"N" ~doc:"Issue width of the processor.")
 
+(* Shared by simulate/profile/sweep/bench: the escape hatch for the
+   engine-specialization layer (DESIGN.md §14). Variants are
+   bit-identical to the generic engine by contract, so this only
+   trades host speed for the reference implementation. *)
+let no_specialize_arg =
+  Arg.(
+    value & flag
+    & info [ "no-specialize" ]
+        ~doc:"Force the generic engine: skip staged-variant \
+              installation even when the configuration matches a \
+              pre-compiled grid point. Results are bit-identical \
+              either way (the differential suite proves it); use this \
+              to cross-check or to time the generic path.")
+
+let spec_mode_of_flag no_specialize =
+  if no_specialize then Resim_spec.Spec.Never else Resim_spec.Spec.Auto
+
 let program_arg =
   Arg.(
     value
@@ -241,9 +258,33 @@ let read_file_bytes path =
    RSM code and record offset). *)
 let fault_exit = 3
 
+(* Mirror of [Sample.splice_metrics]: inject the engine identity into
+   the stats JSON object, so every metrics document says which engine
+   implementation (generic or a staged variant, DESIGN.md §14)
+   produced it. *)
+let splice_engine_identity ~variant stats_json =
+  let n = ref (String.length stats_json) in
+  while
+    !n > 0
+    &&
+    match stats_json.[!n - 1] with
+    | ' ' | '\t' | '\n' | '\r' -> true
+    | _ -> false
+  do
+    decr n
+  done;
+  if !n = 0 || stats_json.[!n - 1] <> '}' then
+    invalid_arg "splice_engine_identity: not a JSON object";
+  String.sub stats_json 0 (!n - 1)
+  ^ Printf.sprintf ",\n  \"specialized\": %b,\n  \"variant\": %s\n}\n"
+      (match variant with Some _ -> true | None -> false)
+      (match variant with
+      | Some name -> Resim_core.Json.quote name
+      | None -> "null")
+
 let simulate workload scale source_file trace_file perfect_bp caches
     max_cycles timeout checkpoint_out resume_file degraded pipetrace_out
-    waterfall_window metrics_out sample =
+    waterfall_window metrics_out sample no_specialize =
   let sample_spec =
     match sample with
     | None -> None
@@ -350,6 +391,7 @@ let simulate workload scale source_file trace_file perfect_bp caches
         Format.printf "wrote pipetrace %s@." path
     | Some _ | None -> ()
   in
+  let engine_variant = ref None in
   let write_metrics ?report stats =
     match metrics_out with
     | None -> ()
@@ -359,7 +401,10 @@ let simulate workload scale source_file trace_file perfect_bp caches
             Resim_core.Stats.csv_header () ^ "\n"
             ^ Resim_core.Stats.csv_row stats ^ "\n"
           else
-            let stats_json = Resim_core.Stats.to_json stats in
+            let stats_json =
+              splice_engine_identity ~variant:!engine_variant
+                (Resim_core.Stats.to_json stats)
+            in
             match report with
             | None -> stats_json
             | Some report ->
@@ -414,9 +459,19 @@ let simulate workload scale source_file trace_file perfect_bp caches
             fun () -> Unix.gettimeofday () > limit)
           timeout
       in
+      (* One instrument hook does both attachments: specialization
+         first (it only swaps the stepper), then the observability
+         sinks. With no sinks the engine keeps its observer-free hot
+         path — staged variants preserve the zero-sink fast path. *)
       let instrument =
-        if sinks = [] then None
-        else Some (fun engine -> Resim_obs.Obs.attach engine sinks)
+        Some
+          (fun engine ->
+            ignore
+              (Resim_spec.Spec.install
+                 ~mode:(spec_mode_of_flag no_specialize) engine
+                : bool);
+            engine_variant := Resim_core.Engine.variant engine;
+            if sinks <> [] then Resim_obs.Obs.attach engine sinks)
       in
       let fail failure =
         (* Flush the partial pipetrace — the events up to the fault
@@ -428,6 +483,9 @@ let simulate workload scale source_file trace_file perfect_bp caches
       in
       let conclude ?report robust =
         close_sinks ();
+        (match !engine_variant with
+        | Some name -> Format.printf "engine: specialized (%s)@." name
+        | None -> ());
         (match robust.Resim_core.Resim.stop with
         | Resim_core.Engine.Drained -> ()
         | Resim_core.Engine.Cycle_budget ->
@@ -593,7 +651,8 @@ let simulate_cmd =
     Term.(
       const simulate $ kernel_arg $ scale_arg $ program_arg $ trace_file
       $ perfect_bp $ caches $ max_cycles $ timeout $ checkpoint_out
-      $ resume_file $ degraded $ pipetrace $ waterfall $ metrics $ sample)
+      $ resume_file $ degraded $ pipetrace $ waterfall $ metrics $ sample
+      $ no_specialize_arg)
 
 (* --- area ----------------------------------------------------------- *)
 
@@ -693,7 +752,7 @@ let ptrace_cmd =
 
 (* --- profile ---------------------------------------------------------- *)
 
-let profile workload scale source_file trace_file json =
+let profile workload scale source_file trace_file json no_specialize =
   let records =
     match trace_file with
     | Some path -> (
@@ -714,9 +773,18 @@ let profile workload scale source_file trace_file json =
   (* The phase-probe closer charges the span still open when the run
      ends; simulate_robust owns the engine, so capture it here. *)
   let closer = ref (fun () -> ()) in
+  let engine_variant = ref None in
   let result =
     Resim_core.Resim.simulate_robust ~config
       ~instrument:(fun engine ->
+        (* Specialize first so the probes measure the engine that
+           really runs; staged steppers fire the same per-phase probe
+           sites as the generic engine, so attribution is unchanged. *)
+        ignore
+          (Resim_spec.Spec.install ~mode:(spec_mode_of_flag no_specialize)
+             engine
+            : bool);
+        engine_variant := Resim_core.Engine.variant engine;
         closer := Resim_obs.Prof.instrument_engine prof engine)
       records
   in
@@ -728,9 +796,13 @@ let profile workload scale source_file trace_file json =
       exit fault_exit
   | Ok robust ->
       let stats = robust.Resim_core.Resim.outcome.Resim_core.Resim.stats in
-      Format.printf "%Ld major cycles, %Ld instructions committed@.@."
+      Format.printf "%Ld major cycles, %Ld instructions committed@."
         (Resim_core.Stats.get Resim_core.Stats.major_cycles stats)
         (Resim_core.Stats.get Resim_core.Stats.committed stats);
+      Format.printf "engine: %s@.@."
+        (match !engine_variant with
+        | Some name -> "specialized (" ^ name ^ ")"
+        | None -> "generic");
       Format.printf "%a@." Resim_obs.Prof.pp prof;
       (match json with
       | Some path ->
@@ -738,7 +810,13 @@ let profile workload scale source_file trace_file json =
           Fun.protect
             ~finally:(fun () -> close_out channel)
             (fun () ->
-              output_string channel (Resim_obs.Prof.to_json prof));
+              output_string channel
+                (Resim_obs.Prof.to_json
+                   ~specialized:
+                     (match !engine_variant with
+                     | Some _ -> true
+                     | None -> false)
+                   ?variant:!engine_variant prof));
           Format.printf "wrote profile %s@." path
       | None -> ())
 
@@ -764,7 +842,7 @@ let profile_cmd =
              stay representative)")
     Term.(
       const profile $ kernel_arg $ scale_arg $ program_arg $ trace_file
-      $ json)
+      $ json $ no_specialize_arg)
 
 (* --- vhdl ------------------------------------------------------------- *)
 
@@ -834,7 +912,7 @@ let dedupe_jobs jobs =
     jobs
 
 let sweep jobs quick keep_going timeout max_cycles retries metrics_out
-    profile_pool sample =
+    profile_pool sample no_specialize =
   let sample_spec =
     match sample with
     | None -> None
@@ -886,7 +964,12 @@ let sweep jobs quick keep_going timeout max_cycles retries metrics_out
   in
   let started = Unix.gettimeofday () in
   let report =
+    (* Each worker domain installs the matching staged variant on its
+       own engines (Auto falls back to generic off-grid); results are
+       bit-identical at any mode, so this only buys wall clock. *)
     Resim_sweep.Sweep.run ~strict:(not keep_going) ~policy ?prof ~jobs
+      ~instrument:
+        (Resim_spec.Spec.instrument (spec_mode_of_flag no_specialize))
       grid
   in
   let wall = Unix.gettimeofday () -. started in
@@ -998,11 +1081,11 @@ let sweep_cmd =
        ~doc:"Run the full ablation grid as a domain-parallel sweep")
     Term.(
       const sweep $ jobs $ quick $ keep_going $ timeout $ max_cycles
-      $ retries $ metrics $ profile_pool $ sample)
+      $ retries $ metrics $ profile_pool $ sample $ no_specialize_arg)
 
 (* --- bench ----------------------------------------------------------- *)
 
-let bench json quick =
+let bench json quick no_specialize =
   (* The bench grid runs exactly these two configurations. *)
   ensure_valid_config ~context:"bench reference"
     Resim_core.Config.reference;
@@ -1010,6 +1093,20 @@ let bench json quick =
     Resim_core.Config.fast_comparable;
   let measurements = Resim_reports.Hostbench.measure ~quick () in
   Format.printf "%a@." Resim_reports.Hostbench.pp_table measurements;
+  (* Staged-variant grid, timed against the generic measurements just
+     taken (same traces, same protocol) so the speedup column isolates
+     what installation buys. --no-specialize drops the section. *)
+  let specialized =
+    if no_specialize then None
+    else begin
+      let specialized =
+        Resim_reports.Hostbench.measure_specialized ~quick measurements
+      in
+      Format.printf "%a@." Resim_reports.Hostbench.pp_specialized
+        specialized;
+      Some specialized
+    end
+  in
   let sampled = Resim_reports.Hostbench.measure_sampled ~quick () in
   Format.printf "%a@." Resim_reports.Hostbench.pp_sampled sampled;
   (* Full runs also sweep the (default-scale) ablation grid through the
@@ -1026,7 +1123,12 @@ let bench json quick =
                  Resim_sweep.Sweep.scale = Resim_sweep.Sweep.Default })
              (Resim_reports.Ablations.requests ()))
       in
-      let report = Resim_sweep.Sweep.run grid in
+      let report =
+        Resim_sweep.Sweep.run
+          ~instrument:
+            (Resim_spec.Spec.instrument (spec_mode_of_flag no_specialize))
+          grid
+      in
       let counts = Resim_sweep.Sweep.counts report in
       Format.printf
         "sweep outcomes (%d job(s)): %d ok, %d failed, %d timed out, \
@@ -1039,7 +1141,7 @@ let bench json quick =
   match json with
   | Some path ->
       Resim_reports.Hostbench.write_json ~path ?sweep_outcomes ~sampled
-        measurements;
+        ?specialized measurements;
       Format.printf "wrote %s@." path
   | None -> ()
 
@@ -1063,7 +1165,7 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:"Measure engine host throughput per (kernel, config, \
              scheduler)")
-    Term.(const bench $ json $ quick)
+    Term.(const bench $ json $ quick $ no_specialize_arg)
 
 (* --- lint ------------------------------------------------------------ *)
 

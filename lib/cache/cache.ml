@@ -32,15 +32,24 @@ type stats = {
   evictions : int64;
 }
 
+(* Counters are host ints (widened to int64 on read): [access] sits on
+   the engine's per-fetch/per-load path, and boxed [Int64.add] would
+   allocate twice per access. They live in their own record so the
+   engine specialization layer (DESIGN.md §14) can bump a perfect
+   cache's counters inline without the tag/set state being exposed. *)
+type counters = {
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
 type t = {
   config : config;
   timing : timing;
   state : state;
-  mutable clock : int;
-  mutable accesses : int64;
-  mutable hits : int64;
-  mutable misses : int64;
-  mutable evictions : int64;
+  counters : counters;
 }
 
 let log2_exact name n =
@@ -70,10 +79,12 @@ let create ?(timing = default_timing) config =
         S_sets { sets; block_bits; set_count }
   in
   { config; timing; state;
-    clock = 0; accesses = 0L; hits = 0L; misses = 0L; evictions = 0L }
+    counters = { clock = 0; accesses = 0; hits = 0; misses = 0; evictions = 0 }
+  }
 
 let config t = t.config
 let timing t = t.timing
+let counters t = t.counters
 
 let locate ~block_bits ~set_count addr =
   let block = addr lsr block_bits in
@@ -100,27 +111,28 @@ let victim_way set =
 
 let access t ~addr ~write =
   ignore write;
-  t.accesses <- Int64.add t.accesses 1L;
-  t.clock <- t.clock + 1;
+  let c = t.counters in
+  c.accesses <- c.accesses + 1;
+  c.clock <- c.clock + 1;
   match t.state with
   | S_perfect ->
-      t.hits <- Int64.add t.hits 1L;
+      c.hits <- c.hits + 1;
       t.timing.hit_latency
   | S_sets { sets; block_bits; set_count } -> (
       let index, tag = locate ~block_bits ~set_count addr in
       let set = sets.(index) in
       match find_way set tag with
       | Some way ->
-          set.(way).stamp <- t.clock;
-          t.hits <- Int64.add t.hits 1L;
+          set.(way).stamp <- c.clock;
+          c.hits <- c.hits + 1;
           t.timing.hit_latency
       | None ->
-          t.misses <- Int64.add t.misses 1L;
+          c.misses <- c.misses + 1;
           let way = victim_way set in
           if set.(way).tag <> -1 then
-            t.evictions <- Int64.add t.evictions 1L;
+            c.evictions <- c.evictions + 1;
           set.(way).tag <- tag;
-          set.(way).stamp <- t.clock;
+          set.(way).stamp <- c.clock;
           t.timing.hit_latency + t.timing.miss_latency)
 
 let probe t ~addr =
@@ -131,19 +143,23 @@ let probe t ~addr =
       find_way sets.(index) tag <> None
 
 let stats t =
-  { accesses = t.accesses; hits = t.hits; misses = t.misses;
-    evictions = t.evictions }
+  { accesses = Int64.of_int t.counters.accesses;
+    hits = Int64.of_int t.counters.hits;
+    misses = Int64.of_int t.counters.misses;
+    evictions = Int64.of_int t.counters.evictions }
 
 let reset_stats t =
-  t.accesses <- 0L;
-  t.hits <- 0L;
-  t.misses <- 0L;
-  t.evictions <- 0L
+  let c = t.counters in
+  c.accesses <- 0;
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0
 
 let miss_rate t =
-  if Int64.equal t.accesses 0L then 0.0
-  else Int64.to_float t.misses /. Int64.to_float t.accesses
+  if t.counters.accesses = 0 then 0.0
+  else float_of_int t.counters.misses /. float_of_int t.counters.accesses
 
 let pp_stats ppf t =
-  Format.fprintf ppf "accesses=%Ld hits=%Ld misses=%Ld (%.2f%% miss)"
-    t.accesses t.hits t.misses (100.0 *. miss_rate t)
+  Format.fprintf ppf "accesses=%d hits=%d misses=%d (%.2f%% miss)"
+    t.counters.accesses t.counters.hits t.counters.misses
+    (100.0 *. miss_rate t)

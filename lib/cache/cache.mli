@@ -31,11 +31,27 @@ val l1_32k_8way_64b : config
 val l1_32k_2way_64b : config
 (** The §V.C variant: 32 KB, 2-way. *)
 
+type counters = {
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+(** Live access counters (host ints; the {!stats} view widens to
+    int64). Exposed for the engine specialization layer (DESIGN.md
+    §14), which bumps a perfect cache's counters inline — a perfect
+    cache's access is nothing but these increments plus the constant
+    hit latency. Treat as read-only elsewhere. *)
+
 type t
 
 val create : ?timing:timing -> config -> t
 val config : t -> config
 val timing : t -> timing
+
+val counters : t -> counters
+(** The cache's live counter record (shared, not a snapshot). *)
 
 val access : t -> addr:int -> write:bool -> int
 (** Simulate one access to byte address [addr]; returns its latency in

@@ -12,9 +12,23 @@
     simulation length. All operations are O(log n) except
     [length]/[is_empty]/[min_key] (O(1)) and [clear] (O(1), drops the
     storage). The heap grows geometrically and never shrinks while in
-    use. *)
+    use.
 
-type 'a t
+    The representation is exposed for the engine specialization layer
+    (DESIGN.md §14), which inlines the O(1) reads ([is_empty], [min_at],
+    the root payload). The heap-ordered prefix lives in [0, size);
+    [payload] keeps stale references in its unused suffix. Treat the
+    type as private elsewhere; pushes and drops must go through the
+    operations below. *)
+
+type 'a t = {
+  mutable at : int array;
+  mutable id : int array;
+  mutable seq : int array;
+  mutable payload : 'a array;
+  mutable size : int;
+  mutable stamp : int;
+}
 
 val create : unit -> 'a t
 

@@ -1,8 +1,12 @@
 (** Small fixed-range histograms for per-cycle distributions (commit
     width, issue width, queue occupancy). Values above the range are
-    clamped into the last bin. *)
+    clamped into the last bin.
 
-type t
+    The representation is exposed for the engine specialization layer
+    (DESIGN.md §14), which inlines the per-cycle {!observe}. Treat the
+    type as private elsewhere. *)
+
+type t = { counts : int array; mutable total : int }
 
 val create : bins:int -> t
 (** [bins] ≥ 1; bin [i] counts observations of value [i]. *)

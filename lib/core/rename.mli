@@ -3,9 +3,15 @@
     Dispatch looks sources up here and records the producing ROB entry;
     writeback clears a mapping it still owns. Because branch resolution
     happens at commit (when the branch is the oldest instruction), a
-    squash always empties the window, so recovery is a full {!reset}. *)
+    squash always empties the window, so recovery is a full {!reset}.
 
-type t
+    The representation is exposed for the engine specialization layer
+    (DESIGN.md §14), which inlines the per-dispatch lookups. Slot [r]
+    holds the producing entry id for architectural register [r], or
+    [Entry.no_producer]; slot 0 (the zero register) is never defined.
+    Treat the type as private elsewhere. *)
+
+type t = { producers : int array }
 
 val create : registers:int -> t
 

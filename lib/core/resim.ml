@@ -17,8 +17,9 @@ let outcome_of ~config ~records engine stats =
     icache_stats = Resim_cache.Cache.stats (Engine.icache engine);
     dcache_stats = Resim_cache.Cache.stats (Engine.dcache engine) }
 
-let simulate_trace ?(config = Config.reference) records =
+let simulate_trace ?(config = Config.reference) ?instrument records =
   let engine = Engine.create ~config records in
+  (match instrument with Some f -> f engine | None -> ());
   let stats = Engine.run engine in
   outcome_of ~config ~records engine stats
 

@@ -27,7 +27,13 @@ type outcome = {
 }
 
 val simulate_trace :
-  ?config:Config.t -> Resim_trace.Record.t array -> outcome
+  ?config:Config.t ->
+  ?instrument:(Engine.t -> unit) ->
+  Resim_trace.Record.t array ->
+  outcome
+(** [instrument] runs on the freshly created engine before the first
+    cycle — the hook the observability sinks and the specialization
+    layer ([Resim_spec.Spec]) attach through. *)
 
 val simulate_program :
   ?config:Config.t ->

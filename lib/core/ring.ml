@@ -19,7 +19,12 @@ let space t = t.capacity - t.length
 let is_empty t = t.length = 0
 let is_full t = t.length = t.capacity
 
-let index t i = (t.head + i) mod t.capacity
+(* [head + i] is always < 2 * capacity, so the wrap is a conditional
+   subtract — [mod] would cost a hardware divide on every slot access,
+   and the engine's ROB walks funnel through here. *)
+let[@inline] index t i =
+  let j = t.head + i in
+  if j >= t.capacity then j - t.capacity else j
 
 let push t value =
   if is_full t then failwith "Ring.push: full";
@@ -33,7 +38,8 @@ let front t =
 
 let drop t =
   if is_empty t then invalid_arg "Ring.drop: empty";
-  t.head <- (t.head + 1) mod t.capacity;
+  let next = t.head + 1 in
+  t.head <- (if next >= t.capacity then 0 else next);
   t.length <- t.length - 1
 
 let take t =

@@ -1,7 +1,18 @@
 (** Bounded circular buffers — the hardware queues (IFQ, decouple buffer,
-    LSQ ordering) of the simulated processor. *)
+    LSQ ordering) of the simulated processor.
 
-type 'a t
+    The representation is exposed for the engine specialization layer
+    (DESIGN.md §14): the staged per-cycle code inlines the constant-time
+    operations, which a non-flambda build would otherwise leave as
+    out-of-line calls. Treat the type as private elsewhere — construct
+    with {!create} and mutate only through the operations below. *)
+
+type 'a t = {
+  capacity : int;
+  mutable slots : 'a array;  (* [[||]] until the first push *)
+  mutable head : int;
+  mutable length : int;
+}
 
 val create : capacity:int -> 'a t
 (** Raises [Invalid_argument] when [capacity <= 0]. *)

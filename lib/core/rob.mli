@@ -1,7 +1,14 @@
 (** Reorder Buffer (the paper's RB): the in-order window of in-flight
-    instructions, RUU-style. Head = oldest. *)
+    instructions, RUU-style. Head = oldest.
 
-type t
+    The representation is exposed for the engine specialization layer
+    (DESIGN.md §14), which inlines the per-cycle window walks.
+    [sequence] is the id the next dispatched entry receives; ids in the
+    window are consecutive, so the entry with id [i] sits
+    [i - (sequence - length)] places from the ring head. Treat the type
+    as private elsewhere. *)
+
+type t = { ring : Entry.t Ring.t; mutable sequence : int }
 
 val create : entries:int -> t
 val capacity : t -> int

@@ -6,9 +6,26 @@
     paper's future-work idea of feeding ReSim directly from a functional
     simulator, as in FAST. A pull source buffers a sliding window and
     reclaims records once the engine's cursor has passed them, keeping
-    memory bounded for arbitrarily long co-simulations. *)
+    memory bounded for arbitrarily long co-simulations.
 
-type t
+    The representation is exposed for the engine specialization layer
+    (DESIGN.md §14): the staged fetch loop inlines the [Whole] fast
+    path (a bounds check plus an array read) and falls back to the
+    ordinary calls for [Windowed] sources. Treat the type as private
+    elsewhere. *)
+
+type pull_state = {
+  pull : unit -> Resim_trace.Record.t option;
+  mutable window : Resim_trace.Record.t array;
+  mutable base : int;  (* absolute index of [window.(0)] *)
+  mutable length : int;  (* valid records in the window *)
+  mutable exhausted : bool;
+  mutable reclaim_below : int;
+}
+
+type t =
+  | Whole of Resim_trace.Record.t array
+  | Windowed of pull_state
 
 val of_array : Resim_trace.Record.t array -> t
 

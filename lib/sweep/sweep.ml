@@ -93,7 +93,7 @@ let acquire job =
       Resim_tracegen.Generator.run ~config:(generator_config job.config)
         (program_of job)
 
-let run_job job =
+let run_job ?instrument job =
   validate_job job;
   let generated = acquire job in
   (* The wall-clock window opens after trace acquisition: host_mips is
@@ -103,14 +103,14 @@ let run_job job =
   let outcome, sample_report =
     match job.sample with
     | None ->
-        ( Resim_core.Resim.simulate_trace ~config:job.config
+        ( Resim_core.Resim.simulate_trace ~config:job.config ?instrument
             generated.records,
           None )
     | Some spec -> (
         (* Fail-fast contract: re-raise what a direct engine run would
            have thrown. *)
         match
-          Resim_sample.Sample.run ~config:job.config ~spec
+          Resim_sample.Sample.run ~config:job.config ?instrument ~spec
             generated.records
         with
         | Stdlib.Ok (robust, report) ->
@@ -199,7 +199,7 @@ let fault_of_diagnostic (d : Rcheck.Diagnostic.t) =
   in
   Fault.make ~code:d.code ~offset ~context:d.message
 
-let attempt_unsafe ~policy job : outcome =
+let attempt_unsafe ~policy ?instrument job : outcome =
   let generated = acquire job in
   (* Pre-built traces pass the resim-check lint gate first: the engine
      tolerates many protocol violations silently (orphan tags are
@@ -237,7 +237,8 @@ let attempt_unsafe ~policy job : outcome =
               (fun robust -> (robust, None))
               (Resim_core.Resim.simulate_robust ~config:job.config
                  ?watchdog:policy.watchdog ?max_cycles:policy.max_cycles
-                 ?deadline generated.Resim_tracegen.Generator.records)
+                 ?deadline ?instrument
+                 generated.Resim_tracegen.Generator.records)
         | Some spec ->
             (* Sampled under the same budgets: the driver threads the
                deadline and cycle ceiling through every detailed
@@ -246,7 +247,7 @@ let attempt_unsafe ~policy job : outcome =
               (fun (robust, report) -> (robust, Some report))
               (Resim_sample.Sample.run ~config:job.config
                  ?watchdog:policy.watchdog ?max_cycles:policy.max_cycles
-                 ?deadline ~spec
+                 ?deadline ?instrument ~spec
                  generated.Resim_tracegen.Generator.records)
       in
       match simulated with
@@ -274,8 +275,8 @@ let attempt_unsafe ~policy job : outcome =
               | Some checkpoint -> Truncated (result, checkpoint)
               | None -> Ok result)))
 
-let attempt ~policy job : outcome =
-  match attempt_unsafe ~policy job with
+let attempt ~policy ?instrument job : outcome =
+  match attempt_unsafe ~policy ?instrument job with
   | outcome -> outcome
   | exception Fault.Trace_fault fault -> Failed (Fault fault)
   | exception Engine.Deadlock d -> Failed (Deadlock d)
@@ -290,12 +291,12 @@ let retryable = function
   | Failed (Crashed _) | Timed_out _ -> true
   | Ok _ | Truncated _ | Failed (Fault _ | Deadlock _ | Invalid _) -> false
 
-let first_attempt ~policy job : job_report =
+let first_attempt ~policy ?instrument job : job_report =
   match Rcheck.Config.error_summary job.config with
   | Some summary -> { job; outcome = Failed (Invalid summary); attempts = 1 }
-  | None -> { job; outcome = attempt ~policy job; attempts = 1 }
+  | None -> { job; outcome = attempt ~policy ?instrument job; attempts = 1 }
 
-let run_job_robust ?(policy = default_policy) job : job_report =
+let run_job_robust ?(policy = default_policy) ?instrument job : job_report =
   let rec go (report : job_report) backoff =
     if report.attempts > policy.retries || not (retryable report.outcome)
     then report
@@ -307,20 +308,22 @@ let run_job_robust ?(policy = default_policy) job : job_report =
       Unix.sleepf backoff;
       go
         { report with
-          outcome = attempt ~policy job;
+          outcome = attempt ~policy ?instrument job;
           attempts = report.attempts + 1 }
         (Float.min policy.max_backoff (backoff *. 2.0))
     end
   in
-  go (first_attempt ~policy job) policy.backoff
+  go (first_attempt ~policy ?instrument job) policy.backoff
 
-let run ?(strict = false) ?policy ?prof ?jobs list =
+let run ?(strict = false) ?policy ?prof ?jobs ?instrument list =
   let jobs =
     match jobs with Some jobs -> jobs | None -> Pool.recommended_jobs ()
   in
   if strict then begin
     List.iter validate_job list;
-    let results = Pool.map ?prof ~jobs run_job (Array.of_list list) in
+    let results =
+      Pool.map ?prof ~jobs (run_job ?instrument) (Array.of_list list)
+    in
     { job_reports =
         Array.to_list
           (Array.map
@@ -333,7 +336,7 @@ let run ?(strict = false) ?policy ?prof ?jobs list =
     let job_array = Array.of_list list in
     (* Round 0: one attempt per job across the pool. *)
     let reports =
-      Pool.map ?prof ~jobs (first_attempt ~policy) job_array
+      Pool.map ?prof ~jobs (first_attempt ~policy ?instrument) job_array
     in
     (* Retry rounds: the coordinator sleeps out the backoff once per
        round while every worker slot stays free, then resubmits only the
@@ -358,7 +361,7 @@ let run ?(strict = false) ?policy ?prof ?jobs list =
         backoff := Float.min policy.max_backoff (!backoff *. 2.0);
         let retried =
           Pool.map ?prof ~jobs
-            (fun i -> attempt ~policy job_array.(i))
+            (fun i -> attempt ~policy ?instrument job_array.(i))
             indices
         in
         Array.iteri

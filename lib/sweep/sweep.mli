@@ -92,10 +92,13 @@ exception Invalid_config of string
     payload names the job label and every failing field. Raised only on
     the strict path. *)
 
-val run_job : job -> result
+val run_job : ?instrument:(Resim_core.Engine.t -> unit) -> job -> result
 (** Run one job on the calling domain, fail-fast: raises
     {!Invalid_config} before any work when the configuration does not
-    validate, and lets trace faults and deadlocks escape. *)
+    validate, and lets trace faults and deadlocks escape. [instrument]
+    runs on each job's freshly created engine before its first cycle —
+    the hook the engine-specialization layer ([Resim_spec.Spec]) and
+    observability probes attach through. *)
 
 (** {1 Fault domains} *)
 
@@ -143,7 +146,11 @@ val retryable : outcome -> bool
     failures ([Fault], [Deadlock], [Invalid]) fail identically every
     attempt and are reported after exactly one. *)
 
-val run_job_robust : ?policy:policy -> job -> job_report
+val run_job_robust :
+  ?policy:policy ->
+  ?instrument:(Resim_core.Engine.t -> unit) ->
+  job ->
+  job_report
 (** Run one job inside its fault domain on the calling domain: never
     raises. {!retryable} outcomes are retried with doubling, capped
     backoff up to [policy.retries] extra attempts; the backoff sleeps
@@ -156,6 +163,7 @@ val run :
   ?policy:policy ->
   ?prof:Resim_obs.Prof.t ->
   ?jobs:int ->
+  ?instrument:(Resim_core.Engine.t -> unit) ->
   job list ->
   report
 (** Shard the jobs over [jobs] worker domains (default
@@ -169,7 +177,11 @@ val run :
     [~strict:true] the original contract applies: every configuration
     is validated up front ({!Invalid_config} before any domain spawns)
     and the first failing job's exception, in job order, is re-raised.
-    [prof] charges pool queue-wait/run spans ({!Pool.map}). *)
+    [prof] charges pool queue-wait/run spans ({!Pool.map}).
+    [instrument] runs on every job's fresh engine before its first
+    cycle (see {!run_job}); each worker domain calls it on its own
+    engines, so the hook must be domain-safe — the specialization
+    installer and per-engine probes are. *)
 
 val completed : report -> result list
 (** Results with statistics, in job order: [Ok] plus [Truncated]

@@ -1,0 +1,130 @@
+#!/bin/sh
+# Engine-specialization smoke test, wired into `make check` (and
+# available as `make spec-smoke`): run the same kernel with and
+# without --no-specialize on every surface that takes the flag and
+# check (a) the specialized run reports its variant, (b) statistics
+# are bit-identical either way (the DESIGN.md §14 contract), (c) the
+# metrics/profile JSON documents carry the specialized/variant fields,
+# and (d) the sampled and pipetrace paths compose with specialization.
+# Everything under `timeout`.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+CLI="$ROOT/_build/default/bin/resim_cli.exe"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+if [ ! -x "$CLI" ]; then
+    (cd "$ROOT" && dune build bin/resim_cli.exe)
+fi
+
+fail=0
+
+# --- simulate: specialized vs generic bit-identity -------------------
+timeout 120 "$CLI" simulate -k gzip -s 512 --metrics "$TMP/spec.json" \
+    > "$TMP/spec.out"
+timeout 120 "$CLI" simulate -k gzip -s 512 --no-specialize \
+    --metrics "$TMP/generic.json" > "$TMP/generic.out"
+
+if ! grep -q '^engine: specialized (' "$TMP/spec.out"; then
+    echo "FAIL simulate: default run did not install a staged variant"
+    fail=1
+fi
+if grep -q '^engine: specialized (' "$TMP/generic.out"; then
+    echo "FAIL simulate: --no-specialize still specialized"
+    fail=1
+fi
+if ! grep -q '"specialized": true' "$TMP/spec.json"; then
+    echo "FAIL metrics: specialized run not flagged in JSON"
+    fail=1
+fi
+if ! grep -q '"specialized": false' "$TMP/generic.json"; then
+    echo "FAIL metrics: generic run not flagged in JSON"
+    fail=1
+fi
+# Identical statistics once the engine-identity fields are stripped.
+for f in spec generic; do
+    grep -v '"specialized"\|"variant"' "$TMP/$f.json" > "$TMP/$f.stats"
+done
+if ! cmp -s "$TMP/spec.stats" "$TMP/generic.stats"; then
+    echo "FAIL simulate: specialized and generic statistics differ"
+    diff "$TMP/spec.stats" "$TMP/generic.stats" | head -5
+    fail=1
+fi
+# The human-readable engine sections must agree too (drop the variant
+# line and host-side chatter).
+for f in spec generic; do
+    grep -v '^engine: specialized\|^wrote ' "$TMP/$f.out" > "$TMP/$f.txt"
+done
+if ! cmp -s "$TMP/spec.txt" "$TMP/generic.txt"; then
+    echo "FAIL simulate: specialized and generic outputs differ"
+    diff "$TMP/spec.txt" "$TMP/generic.txt" | head -5
+    fail=1
+fi
+
+# --- pipetrace composes: identical JSONL streams ---------------------
+timeout 120 "$CLI" simulate -k gzip -s 512 \
+    --pipetrace "$TMP/spec.jsonl" > /dev/null
+timeout 120 "$CLI" simulate -k gzip -s 512 --no-specialize \
+    --pipetrace "$TMP/generic.jsonl" > /dev/null
+if ! cmp -s "$TMP/spec.jsonl" "$TMP/generic.jsonl"; then
+    echo "FAIL pipetrace: specialized stream differs from generic"
+    fail=1
+fi
+
+# --- sampled runs compose with specialization ------------------------
+timeout 120 "$CLI" simulate -k gzip -s 512 --sample 200:800:3 \
+    --metrics "$TMP/sampled.json" > "$TMP/sampled.out"
+if ! grep -q '^engine: specialized (' "$TMP/sampled.out"; then
+    echo "FAIL sample: sampled run did not specialize"
+    fail=1
+fi
+if ! grep -q '"sample":' "$TMP/sampled.json"; then
+    echo "FAIL sample: no sampled section in metrics"
+    fail=1
+fi
+
+# --- profile: phase attribution knows the engine identity ------------
+timeout 120 "$CLI" profile -k gzip -s 256 --json "$TMP/prof.json" \
+    > "$TMP/prof.out"
+if ! grep -q '^engine: specialized (' "$TMP/prof.out"; then
+    echo "FAIL profile: default profile did not specialize"
+    fail=1
+fi
+if ! grep -q '"specialized":true' "$TMP/prof.json"; then
+    echo "FAIL profile: JSON missing specialized flag"
+    fail=1
+fi
+if ! grep -q '"variant":"' "$TMP/prof.json"; then
+    echo "FAIL profile: JSON missing variant name"
+    fail=1
+fi
+timeout 120 "$CLI" profile -k gzip -s 256 --no-specialize \
+    --json "$TMP/prof_gen.json" > "$TMP/prof_gen.out"
+if ! grep -q '^engine: generic' "$TMP/prof_gen.out"; then
+    echo "FAIL profile: --no-specialize did not report the generic engine"
+    fail=1
+fi
+if ! grep -q '"specialized":false' "$TMP/prof_gen.json"; then
+    echo "FAIL profile: generic JSON missing specialized:false"
+    fail=1
+fi
+
+# --- sweep: both modes complete with identical stall totals ----------
+timeout 300 "$CLI" sweep --quick -j 2 > "$TMP/sweep_spec.out"
+timeout 300 "$CLI" sweep --quick -j 2 --no-specialize \
+    > "$TMP/sweep_gen.out"
+for f in sweep_spec sweep_gen; do
+    sed -n '/stall causes/,$p' "$TMP/$f.out" > "$TMP/$f.stalls"
+done
+if ! cmp -s "$TMP/sweep_spec.stalls" "$TMP/sweep_gen.stalls"; then
+    echo "FAIL sweep: stall totals differ between modes"
+    diff "$TMP/sweep_spec.stalls" "$TMP/sweep_gen.stalls" | head -5
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "spec-smoke: FAILED"
+    exit 1
+fi
+echo "spec-smoke: all clean"

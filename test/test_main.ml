@@ -19,6 +19,7 @@ let () =
          Test_check.suite;
          Test_fault.suite;
          Test_sample.suite;
+         Test_spec.suite;
          Test_extensions.suite;
          Test_consistency.suite;
          Test_tools.suite ])
