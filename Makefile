@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check lint bench faultsmoke obs-smoke obs-guard sample-smoke spec-smoke
+.PHONY: all build test check lint dsafe dsafe-smoke bench faultsmoke obs-smoke obs-guard sample-smoke spec-smoke
 
 # Wall-clock guard on the PR gate: a hang in any step (the very class
 # of bug the robustness layer exists to prevent) fails the gate after
@@ -21,7 +21,22 @@ test:
 lint:
 	dune build @lint
 
-# The PR gate: formatting, full build, source lint, test suite, a
+# resim-check layer 4: the resim-dsafe domain-safety analyzer over all
+# of lib/ (bin/resim_dsafe.ml; codes RSM-D001..D008, catalog in
+# DESIGN.md §15). Gates the concurrency layer: every shared mutable
+# object must be Atomic, lock-bracketed via Sync.with_lock, or carry a
+# justified `resim-dsafe:` annotation, within the checked-in budget.
+dsafe:
+	dune build @dsafe
+
+# Negative self-test of the gate: the analyzer must *fail* on a
+# deliberately racy scratch module with the expected RSM-D codes and
+# pass a clean one (scripts/dsafe_smoke.sh).
+dsafe-smoke: build
+	$(TIMEOUT) 300 sh scripts/dsafe_smoke.sh
+
+# The PR gate: formatting, full build, source lint, domain-safety
+# analysis (dsafe) plus its negative smoke, test suite, a
 # bench smoke that exercises the --json path end to end, the
 # fault-injection smoke (every corruption class through the CLI), the
 # observability smoke (pipetrace + metrics + schema + profile), the
@@ -32,8 +47,10 @@ check:
 	$(TIMEOUT) 300 dune build @fmt
 	$(TIMEOUT) 900 dune build
 	$(TIMEOUT) 300 dune build @lint
+	$(TIMEOUT) 300 dune build @dsafe
 	$(TIMEOUT) 1800 dune runtest
 	$(TIMEOUT) 600 dune exec bench/main.exe -- --quick --json /dev/null
+	$(MAKE) dsafe-smoke
 	$(MAKE) faultsmoke
 	$(MAKE) obs-smoke
 	$(MAKE) sample-smoke

@@ -1,0 +1,348 @@
+type annot_form =
+  | Domain_local
+  | Guarded_by of string
+  | Lock_impl
+  | Unknown of string
+
+type annot = { annot_line : int; form : annot_form }
+
+type source = {
+  path : string;
+  modname : string;
+  structure : Parsetree.structure;
+  annots : annot list;
+}
+
+(* --- annotation scanning ------------------------------------------ *)
+
+(* Annotations must be written as their own comment: the comment opener
+   immediately followed by one space and "resim-dsafe:". Requiring the
+   opener means prose or string literals that merely mention the grammar
+   (like this analyzer's hints) never parse as annotations. The marker
+   is assembled by concatenation so this very file doesn't trip it. *)
+let marker = "(*" ^ " resim-dsafe:"
+
+let find_sub text start sub =
+  let n = String.length text and m = String.length sub in
+  let rec scan i =
+    if i + m > n then None
+    else if String.sub text i m = sub then Some i
+    else scan (i + 1)
+  in
+  scan start
+
+let parse_form rest =
+  (* [rest] is the comment text after the marker, already cut at the
+     comment terminator. *)
+  let words =
+    String.split_on_char ' ' (String.trim rest)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "domain-local" ] -> Domain_local
+  | [ "guarded-by"; mutex ] -> Guarded_by mutex
+  | [ "lock-impl" ] -> Lock_impl
+  | _ -> Unknown (String.trim rest)
+
+let annots_of_text text =
+  let annots = ref [] in
+  let line = ref 0 in
+  List.iter
+    (fun content ->
+      incr line;
+      match find_sub content 0 marker with
+      | None -> ()
+      | Some i ->
+          let after = i + String.length marker in
+          let rest = String.sub content after (String.length content - after) in
+          let rest =
+            match find_sub rest 0 "*)" with
+            | Some j -> String.sub rest 0 j
+            | None -> rest
+          in
+          annots := { annot_line = !line; form = parse_form rest } :: !annots)
+    (String.split_on_char '\n' text);
+  List.rev !annots
+
+let annot_at source ~line =
+  let rec scan = function
+    | [] -> None
+    | a :: rest ->
+        if a.annot_line = line || a.annot_line = line - 1 then Some a.form
+        else scan rest
+  in
+  scan source.annots
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let lexbuf = Lexing.from_string text in
+    Location.init lexbuf path;
+    let structure = Parse.implementation lexbuf in
+    let modname =
+      String.capitalize_ascii
+        (Filename.remove_extension (Filename.basename path))
+    in
+    { path; modname; structure; annots = annots_of_text text }
+  with
+  | source -> Ok source
+  | exception Sys_error message -> Error message
+  | exception exn ->
+      Error
+        (Printf.sprintf "%s: parse error: %s" path (Printexc.to_string exn))
+
+(* --- longidents and paths ----------------------------------------- *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (prefix, s) -> flatten prefix @ [ s ]
+  | Longident.Lapply (a, _) -> flatten a
+
+let dotted lid = String.concat "." (flatten lid)
+
+let rec path_of_expr (expr : Parsetree.expression) =
+  match expr.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (dotted txt)
+  | Pexp_field (e, { txt; _ }) -> (
+      match path_of_expr e with
+      | Some base -> (
+          match List.rev (flatten txt) with
+          | field :: _ -> Some (base ^ "." ^ field)
+          | [] -> None)
+      | None -> None)
+  | _ -> None
+
+let line_of (expr : Parsetree.expression) =
+  expr.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+let children (expr : Parsetree.expression) =
+  let acc = ref [] in
+  let self =
+    { Ast_iterator.default_iterator with
+      expr = (fun _ child -> acc := child :: !acc)
+    }
+  in
+  Ast_iterator.default_iterator.expr self expr;
+  List.rev !acc
+
+(* --- recognizers -------------------------------------------------- *)
+
+type alloc_kind =
+  | Ref
+  | Array
+  | Hashtbl_k
+  | Buffer_k
+  | Queue_k
+  | Bytes_k
+  | Atomic_k
+  | Mutex_k
+  | Condition_k
+
+let alloc_kind_name = function
+  | Ref -> "ref"
+  | Array -> "array"
+  | Hashtbl_k -> "Hashtbl"
+  | Buffer_k -> "Buffer"
+  | Queue_k -> "Queue"
+  | Bytes_k -> "Bytes"
+  | Atomic_k -> "Atomic"
+  | Mutex_k -> "Mutex"
+  | Condition_k -> "Condition"
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let rec classify_alloc (expr : Parsetree.expression) =
+  match expr.pexp_desc with
+  | Pexp_constraint (e, _) -> classify_alloc e
+  | Pexp_array _ -> Some Array
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match strip_stdlib (flatten txt) with
+      | [ "ref" ] -> Some Ref
+      | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") ] ->
+          Some Array
+      | [ "Hashtbl"; "create" ] -> Some Hashtbl_k
+      | [ "Buffer"; "create" ] -> Some Buffer_k
+      | [ "Queue"; "create" ] | [ "Stack"; "create" ] -> Some Queue_k
+      | [ "Bytes"; ("create" | "make" | "init") ] -> Some Bytes_k
+      | [ "Atomic"; "make" ] -> Some Atomic_k
+      | [ "Mutex"; "create" ] -> Some Mutex_k
+      | [ "Condition"; "create" ] -> Some Condition_k
+      | _ -> None)
+  | _ -> None
+
+let is_mutex_lock lid =
+  match strip_stdlib (flatten lid) with
+  | [ "Mutex"; ("lock" | "try_lock") ] -> true
+  | _ -> false
+
+let is_mutex_unlock lid =
+  match strip_stdlib (flatten lid) with
+  | [ "Mutex"; "unlock" ] -> true
+  | _ -> false
+
+let is_with_lock lid =
+  match List.rev (flatten lid) with "with_lock" :: _ -> true | _ -> false
+
+let is_fun_protect lid =
+  match strip_stdlib (flatten lid) with
+  | [ "Fun"; "protect" ] -> true
+  | _ -> false
+
+let is_spawn_like lid =
+  match List.rev (strip_stdlib (flatten lid)) with
+  | "spawn" :: rest -> ( match rest with "Domain" :: _ -> true | _ -> false)
+  | "submit" :: _ -> true
+  | "map" :: "Pool" :: _ -> true
+  | "create" :: "Thread" :: _ -> true
+  | _ -> false
+
+let is_blocking_domain_op lid =
+  match List.rev (strip_stdlib (flatten lid)) with
+  | ("spawn" | "join") :: "Domain" :: _ -> true
+  | "await" :: _ -> true
+  | _ -> false
+
+let is_raise_like lid =
+  match flatten lid with
+  | [ ("raise" | "raise_notrace" | "failwith" | "invalid_arg") ] -> true
+  | _ -> false
+
+(* --- mutable accesses --------------------------------------------- *)
+
+type access = {
+  acc_key : string;
+  acc_write : bool;
+  acc_root : string option;
+  acc_line : int;
+}
+
+let root_of_path path =
+  match String.split_on_char '.' path with [] -> path | base :: _ -> base
+
+(* Container modules whose values are mutable through their whole API;
+   any operation on a shared one races with a writer, so reads and
+   writes both count as accesses (the write flag steers severity). *)
+
+let hashtbl_writes =
+  [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
+
+let hashtbl_reads =
+  [ "find"; "find_opt"; "find_all"; "mem"; "iter"; "fold"; "length"; "stats" ]
+
+let queue_writes =
+  [ "push"; "add"; "pop"; "take"; "take_opt"; "pop_opt"; "clear"; "transfer";
+    "drop" ]
+
+let queue_reads =
+  [ "peek"; "peek_opt"; "top"; "is_empty"; "length"; "iter"; "fold" ]
+
+let buffer_writes =
+  [ "add_char"; "add_string"; "add_bytes"; "add_buffer"; "add_substring";
+    "add_subbytes"; "add_utf_8_uchar"; "add_channel"; "clear"; "reset";
+    "truncate" ]
+
+let buffer_reads = [ "contents"; "to_bytes"; "sub"; "nth"; "length" ]
+let array_writes = [ "set"; "unsafe_set"; "fill"; "blit"; "sort"; "fast_sort" ]
+
+let array_reads =
+  [ "get"; "unsafe_get"; "length"; "iter"; "iteri"; "map"; "mapi"; "fold_left";
+    "fold_right"; "exists"; "for_all"; "mem"; "copy"; "to_list"; "sub" ]
+
+let bytes_writes = [ "set"; "unsafe_set"; "fill"; "blit"; "blit_string" ]
+let bytes_reads = [ "get"; "unsafe_get"; "length"; "sub"; "to_string" ]
+
+let container_access path_components =
+  match strip_stdlib path_components with
+  | [ "Hashtbl"; op ] when List.mem op hashtbl_writes -> Some (true, 0)
+  | [ "Hashtbl"; op ] when List.mem op hashtbl_reads ->
+      Some (false, if op = "iter" || op = "fold" then 1 else 0)
+  | [ ("Queue" | "Stack"); op ] when List.mem op queue_writes -> Some (true, 0)
+  | [ ("Queue" | "Stack"); op ] when List.mem op queue_reads -> Some (false, 0)
+  | [ "Buffer"; op ] when List.mem op buffer_writes -> Some (true, 0)
+  | [ "Buffer"; op ] when List.mem op buffer_reads -> Some (false, 0)
+  | [ ("Array" | "Float" | "Floatarray"); op ] when List.mem op array_writes ->
+      Some (true, 0)
+  | [ ("Array" | "Float" | "Floatarray"); op ] when List.mem op array_reads ->
+      Some (false, 0)
+  | [ "Bytes"; op ] when List.mem op bytes_writes -> Some (true, 0)
+  | [ "Bytes"; op ] when List.mem op bytes_reads -> Some (false, 0)
+  | _ -> None
+
+let nth_nolabel args n =
+  let rec scan i = function
+    | [] -> None
+    | (Asttypes.Nolabel, arg) :: rest ->
+        if i = n then Some arg else scan (i + 1) rest
+    | _ :: rest -> scan i rest
+  in
+  scan 0 args
+
+let last_component lid =
+  match List.rev (flatten lid) with last :: _ -> last | [] -> ""
+
+let access_of_expr ~mutable_fields (expr : Parsetree.expression) =
+  let line = line_of expr in
+  match expr.pexp_desc with
+  | Pexp_setfield (target, { txt; _ }, _) ->
+      let field = last_component txt in
+      Some
+        { acc_key = "field:" ^ field;
+          acc_write = true;
+          acc_root = path_of_expr target;
+          acc_line = line }
+  | Pexp_field (target, { txt; _ }) ->
+      let field = last_component txt in
+      if mutable_fields field then
+        Some
+          { acc_key = "field:" ^ field;
+            acc_write = false;
+            acc_root = path_of_expr target;
+            acc_line = line }
+      else None
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      match flatten txt with
+      | [ ":=" ] | [ "incr" ] | [ "decr" ] -> (
+          match nth_nolabel args 0 with
+          | Some target -> (
+              match path_of_expr target with
+              | Some path ->
+                  Some
+                    { acc_key = "ref:" ^ path;
+                      acc_write = true;
+                      acc_root = Some (root_of_path path);
+                      acc_line = line }
+              | None -> None)
+          | None -> None)
+      | [ "!" ] -> (
+          match nth_nolabel args 0 with
+          | Some target -> (
+              match path_of_expr target with
+              | Some path ->
+                  Some
+                    { acc_key = "ref:" ^ path;
+                      acc_write = false;
+                      acc_root = Some (root_of_path path);
+                      acc_line = line }
+              | None -> None)
+          | None -> None)
+      | components -> (
+          match container_access components with
+          | None -> None
+          | Some (write, arg_index) -> (
+              match nth_nolabel args arg_index with
+              | Some target -> (
+                  match path_of_expr target with
+                  | Some path ->
+                      Some
+                        { acc_key = "cont:" ^ path;
+                          acc_write = write;
+                          acc_root = Some (root_of_path path);
+                          acc_line = line }
+                  | None -> None)
+              | None -> None)))
+  | _ -> None

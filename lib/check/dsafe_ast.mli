@@ -1,0 +1,93 @@
+(** Syntactic substrate shared by the resim-dsafe passes: parsed
+    sources, the [resim-dsafe:] annotation table, and the recognizers
+    for lock operations, domain-crossing calls and mutable accesses.
+    Built on compiler-libs (same toolchain as [bin/resim_lint.ml], no
+    new dependencies). Catalog and grammar: DESIGN.md §15. *)
+
+type annot_form =
+  | Domain_local  (** object confined to one domain by construction *)
+  | Guarded_by of string  (** object protected by the named mutex *)
+  | Lock_impl  (** blessed manual Mutex call inside [Sync.with_lock] *)
+  | Unknown of string  (** malformed annotation — RSM-D007 *)
+
+type annot = { annot_line : int; form : annot_form }
+
+type source = {
+  path : string;
+  modname : string;  (** capitalized basename, e.g. ["Pool"] *)
+  structure : Parsetree.structure;
+  annots : annot list;
+}
+
+val load : string -> (source, string) result
+(** Parse one [.ml] file; [Error message] on read or syntax failure. *)
+
+val annot_at : source -> line:int -> annot_form option
+(** Annotation attached to [line]: on the same line or the one above. *)
+
+val flatten : Longident.t -> string list
+val dotted : Longident.t -> string
+
+val path_of_expr : Parsetree.expression -> string option
+(** Dotted path of an identifier / field chain ([pool.mutex]), if the
+    expression is one. *)
+
+val line_of : Parsetree.expression -> int
+
+val children : Parsetree.expression -> Parsetree.expression list
+(** Immediate sub-expressions, for generic traversal. *)
+
+(** Classification of a top-level allocation expression. *)
+type alloc_kind =
+  | Ref
+  | Array
+  | Hashtbl_k
+  | Buffer_k
+  | Queue_k
+  | Bytes_k
+  | Atomic_k
+  | Mutex_k
+  | Condition_k
+
+val alloc_kind_name : alloc_kind -> string
+
+val classify_alloc : Parsetree.expression -> alloc_kind option
+(** [ref e], [Hashtbl.create n], [Atomic.make v], array literals, … *)
+
+val is_mutex_lock : Longident.t -> bool
+val is_mutex_unlock : Longident.t -> bool
+
+val is_with_lock : Longident.t -> bool
+(** Any path ending in [with_lock] ([Sync.with_lock], open'd, …). *)
+
+val is_fun_protect : Longident.t -> bool
+
+val is_spawn_like : Longident.t -> bool
+(** [Domain.spawn], [Pool.submit] (or bare [submit]), [Pool.map],
+    [Thread.create] — calls whose function-valued arguments cross to
+    another domain. *)
+
+val is_blocking_domain_op : Longident.t -> bool
+(** [Domain.spawn]/[Domain.join]/[Pool.await] — forbidden under a held
+    lock (RSM-D006). *)
+
+val is_raise_like : Longident.t -> bool
+
+(** One mutable access discovered in an expression: its module-scoped
+    consistency key (["field:workers"], ["cont:pool.queue"],
+    ["ref:total"]), whether it writes, and the root identifier path
+    when the subject is addressable. *)
+type access = {
+  acc_key : string;
+  acc_write : bool;
+  acc_root : string option;
+  acc_line : int;
+}
+
+val access_of_expr :
+  mutable_fields:(string -> bool) -> Parsetree.expression -> access option
+(** Recognize [x.f <- e] / [x.f] (mutable fields only for reads),
+    [x := e] / [!x] / [incr] / [decr], and Hashtbl/Queue/Buffer/Stack/
+    Array/Bytes operations on an addressable first argument. [Atomic.*]
+    operations are deliberately not accesses — they are their own
+    safety story. *)

@@ -1,0 +1,37 @@
+(** resim-dsafe passes 2 and 3: capture/escape analysis and guard
+    discipline.
+
+    Pass 2 finds every closure that reaches [Domain.spawn] /
+    [Pool.submit] / [Pool.map] — inline [fun] arguments, named
+    module-level functions passed by name or partially applied, and
+    (transitively) every module-level function mentioned from an
+    already-marked body — and computes the mutable state those bodies
+    capture, directly or via module paths into other analyzed modules.
+
+    Pass 3 classifies each object's guard story and enforces it:
+
+    - RSM-D001 — a top-level mutable object captured by a
+      domain-crossing closure with no safety story at all: not an
+      [Atomic.t], never accessed under a lock anywhere in its module,
+      and not annotated [domain-local] / [guarded-by].
+    - RSM-D002 — a mutable access inside a domain-crossing closure
+      outside any lock region: every write, and every read of state
+      that is written somewhere in the module.
+    - RSM-D003 — an access to lock-guarded state (state accessed under
+      a lock elsewhere in the module, so the lock evidently protects
+      it) from outside any lock region.
+
+    Lock regions are [with_lock m (fun () -> …)] bodies and manual
+    [Mutex.lock]/[Mutex.unlock] brackets within one statement sequence.
+    Catalog: DESIGN.md §15. *)
+
+type summary
+(** Per-module analysis state shared across modules: inventory,
+    guarded/written access keys, domain-crossing bodies. *)
+
+val summarize : Dsafe_ast.source -> Dsafe_inventory.t -> summary
+val inventory : summary -> Dsafe_inventory.t
+
+val check : global:summary list -> summary -> Diagnostic.t list
+(** [global] must contain every analyzed module (including the one
+    being checked) so module-path captures resolve cross-module. *)

@@ -1,0 +1,118 @@
+type item = {
+  item_name : string;
+  item_line : int;
+  item_kind : Dsafe_ast.alloc_kind;
+  item_annot : Dsafe_ast.annot_form option;
+}
+
+type t = {
+  modname : string;
+  path : string;
+  items : item list;
+  mutable_fields : string list;
+  immutable_fields : string list;
+  aliases : (string * string) list;
+}
+
+let binding_name (binding : Parsetree.value_binding) =
+  match binding.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+let binding_line (binding : Parsetree.value_binding) =
+  binding.pvb_loc.Location.loc_start.Lexing.pos_lnum
+
+let fields_of_type ~mutability (decl : Parsetree.type_declaration) =
+  match decl.ptype_kind with
+  | Ptype_record labels ->
+      List.filter_map
+        (fun (label : Parsetree.label_declaration) ->
+          if label.pld_mutable = mutability then Some label.pld_name.txt
+          else None)
+        labels
+  | _ -> []
+
+let alias_of_module (binding : Parsetree.module_binding) =
+  match (binding.pmb_name.txt, binding.pmb_expr.pmod_desc) with
+  | Some name, Pmod_ident { txt; _ } -> (
+      match List.rev (Dsafe_ast.flatten txt) with
+      | target :: _ -> Some (name, target)
+      | [] -> None)
+  | _ -> None
+
+let scan (source : Dsafe_ast.source) =
+  let items = ref [] in
+  let fields = ref [] in
+  let immutable = ref [] in
+  let aliases = ref [] in
+  List.iter
+    (fun (str_item : Parsetree.structure_item) ->
+      match str_item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter
+            (fun binding ->
+              match binding_name binding with
+              | None -> ()
+              | Some name -> (
+                  match Dsafe_ast.classify_alloc binding.Parsetree.pvb_expr with
+                  | None -> ()
+                  | Some kind ->
+                      let line = binding_line binding in
+                      items :=
+                        { item_name = name;
+                          item_line = line;
+                          item_kind = kind;
+                          item_annot = Dsafe_ast.annot_at source ~line }
+                        :: !items))
+            bindings
+      | Pstr_type (_, decls) ->
+          List.iter
+            (fun decl ->
+              fields :=
+                fields_of_type ~mutability:Asttypes.Mutable decl @ !fields;
+              immutable :=
+                fields_of_type ~mutability:Asttypes.Immutable decl @ !immutable)
+            decls
+      | Pstr_module binding -> (
+          match alias_of_module binding with
+          | Some alias -> aliases := alias :: !aliases
+          | None -> ())
+      | _ -> ())
+    source.structure;
+  { modname = source.modname;
+    path = source.path;
+    items = List.rev !items;
+    mutable_fields = List.rev !fields;
+    immutable_fields = List.rev !immutable;
+    aliases = List.rev !aliases }
+
+let find_item t name =
+  List.find_opt (fun item -> item.item_name = name) t.items
+
+let is_shared_primitive item =
+  match item.item_kind with
+  | Dsafe_ast.Mutex_k | Dsafe_ast.Condition_k -> true
+  | _ -> false
+
+let annot_tag = function
+  | None -> ""
+  | Some Dsafe_ast.Domain_local -> " [domain-local]"
+  | Some (Dsafe_ast.Guarded_by m) -> Printf.sprintf " [guarded-by %s]" m
+  | Some Dsafe_ast.Lock_impl -> " [lock-impl]"
+  | Some (Dsafe_ast.Unknown raw) -> Printf.sprintf " [unknown: %s]" raw
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s (%s): %d mutable top-level object(s)@," t.modname
+    t.path (List.length t.items);
+  List.iter
+    (fun item ->
+      Format.fprintf ppf "  %s:%d %s : %s%s@," t.path item.item_line
+        item.item_name
+        (Dsafe_ast.alloc_kind_name item.item_kind)
+        (annot_tag item.item_annot))
+    t.items;
+  if t.mutable_fields <> [] then
+    Format.fprintf ppf "  mutable fields: %s@,"
+      (String.concat ", " t.mutable_fields);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** resim-dsafe pass 1: per-module inventory of top-level (and hence
+    potentially escaping) mutable objects, plus the module's mutable
+    record fields and module aliases. Feeds the capture/escape and
+    guard-discipline passes (DESIGN.md §15). *)
+
+type item = {
+  item_name : string;
+  item_line : int;
+  item_kind : Dsafe_ast.alloc_kind;
+  item_annot : Dsafe_ast.annot_form option;
+      (** [resim-dsafe:] annotation on the binding, if any *)
+}
+
+type t = {
+  modname : string;
+  path : string;
+  items : item list;  (** top-level mutable bindings, in source order *)
+  mutable_fields : string list;
+      (** record fields declared [mutable] anywhere in the module *)
+  immutable_fields : string list;
+      (** record fields declared immutable — a name on both lists is
+          ambiguous untyped, so reads of it are not tracked *)
+  aliases : (string * string) list;
+      (** [module R = Resim_reports.Runner] → [("R", "Runner")] *)
+}
+
+val scan : Dsafe_ast.source -> t
+val find_item : t -> string -> item option
+
+val is_shared_primitive : item -> bool
+(** Mutex/Condition values are synchronization primitives, not state
+    the analyzer demands a guard for. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable inventory listing for [resim_dsafe --inventory]. *)

@@ -1,0 +1,283 @@
+module A = Dsafe_ast
+
+(* Lock state along one lexical path: the (sorted) set of mutex paths
+   currently held, plus the set an enclosing [Fun.protect] finalizer is
+   guaranteed to release (so a raise under them is not a leak). Mutex
+   identities are dotted paths ([pool.mutex], [m]); a non-path mutex
+   argument gets a per-site placeholder that still participates in leak
+   detection but can never alias another site. *)
+
+let set_add p set = if List.mem p set then set else List.sort compare (p :: set)
+let set_remove p set = List.filter (fun q -> q <> p) set
+let set_mem = List.mem
+let set_eq a b = a = b
+let set_inter a b = List.filter (fun p -> List.mem p b) a
+let set_diff a b = List.filter (fun p -> not (List.mem p b)) a
+
+type ctx = {
+  src : A.source;
+  mutable findings : Diagnostic.t list;
+}
+
+let subject ctx line = Printf.sprintf "%s:%d" ctx.src.A.path line
+
+let report ctx ~line ~code ?hint message =
+  ctx.findings <-
+    Diagnostic.error ~code ~subject:(subject ctx line) ?hint message
+    :: ctx.findings
+
+let mutex_path line (expr : Parsetree.expression) =
+  match A.path_of_expr expr with
+  | Some path -> path
+  | None -> Printf.sprintf "<mutex@%d>" line
+
+let nolabel_args args =
+  List.filter_map
+    (fun (label, arg) ->
+      match label with Asttypes.Nolabel -> Some arg | _ -> None)
+    args
+
+let labelled_arg name args =
+  List.find_map
+    (fun (label, arg) ->
+      match label with
+      | Asttypes.Labelled l when l = name -> Some arg
+      | _ -> None)
+    args
+
+(* Every [Mutex.unlock p] mentioned anywhere under [expr] — used to
+   credit a [Fun.protect] finalizer with the locks it releases. *)
+let unlocks_under expr =
+  let acc = ref [] in
+  let rec scan e =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when A.is_mutex_unlock txt -> (
+        match nolabel_args args with
+        | target :: _ -> acc := mutex_path (A.line_of e) target :: !acc
+        | [] -> ())
+    | _ -> ());
+    List.iter scan (A.children e)
+  in
+  scan expr;
+  !acc
+
+let fun_body (expr : Parsetree.expression) =
+  match expr.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> Some body
+  | _ -> None
+
+let lock_impl_exempt ctx line =
+  match A.annot_at ctx.src ~line with
+  | Some A.Lock_impl -> true
+  | _ -> false
+
+(* [eval held protected e] walks [e], reporting findings, and returns
+   the lock set held after [e] on the fallthrough path. *)
+let rec eval ctx held protected (expr : Parsetree.expression) =
+  let line = A.line_of expr in
+  match expr.Parsetree.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when A.is_mutex_lock txt || A.is_mutex_unlock txt ->
+      if not (lock_impl_exempt ctx line) then
+        report ctx ~line ~code:"RSM-D008"
+          ~hint:
+            "use Sync.with_lock (exception-safe); only its implementation \
+             may call Mutex directly, annotated `resim-dsafe: lock-impl`"
+          (Printf.sprintf "manual `%s` bracket" (A.dotted txt));
+      let held =
+        List.fold_left (fun h (_, a) -> eval ctx h protected a) held args
+      in
+      (match nolabel_args args with
+      | target :: _ ->
+          let p = mutex_path line target in
+          if A.is_mutex_lock txt then begin
+            if set_mem p held then
+              report ctx ~line ~code:"RSM-D005"
+                (Printf.sprintf "`%s` is locked again while already held" p);
+            set_add p held
+          end
+          else set_remove p held
+      | [] -> held)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when A.is_with_lock txt -> (
+      match nolabel_args args with
+      | [ target; body ] -> (
+          let p = mutex_path line target in
+          if set_mem p held then
+            report ctx ~line ~code:"RSM-D005"
+              (Printf.sprintf
+                 "with_lock re-enters `%s`, which is already held on this \
+                  path"
+                 p);
+          match fun_body body with
+          | Some inner ->
+              check_function ctx
+                ~entry:(set_add p held)
+                ~protected:(set_add p protected)
+                inner;
+              held
+          | None -> held)
+      | args -> List.fold_left (fun h a -> eval ctx h protected a) held args)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when A.is_fun_protect txt ->
+      let releases =
+        match labelled_arg "finally" args with
+        | Some finalizer ->
+            (* The finalizer itself runs with the lock still held; walk
+               it as a deferred closure for its own findings. *)
+            defer ctx finalizer;
+            unlocks_under finalizer
+        | None -> []
+      in
+      let body_held = set_diff held releases in
+      (match nolabel_args args with
+      | [ body ] -> (
+          match fun_body body with
+          | Some inner ->
+              check_function ctx ~entry:held
+                ~protected:(List.fold_left (fun s p -> set_add p s) protected
+                              releases)
+                inner
+          | None -> ())
+      | args -> List.iter (fun a -> defer ctx a) args);
+      body_held
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when A.is_blocking_domain_op txt ->
+      if held <> [] then
+        report ctx ~line ~code:"RSM-D006"
+          ~hint:"spawn/join outside the locked region"
+          (Printf.sprintf "`%s` while holding %s" (A.dotted txt)
+             (String.concat ", " held));
+      List.fold_left
+        (fun h (_, a) -> eval ctx h protected a)
+        held args
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when A.is_raise_like txt ->
+      let leaked = set_diff held protected in
+      if leaked <> [] then
+        report ctx ~line ~code:"RSM-D004"
+          ~hint:"wrap the locked region in Sync.with_lock or Fun.protect"
+          (Printf.sprintf "raise with %s still held and no protecting bracket"
+             (String.concat ", " leaked));
+      List.iter (fun (_, a) -> defer ctx a) args;
+      held
+  | Pexp_sequence (a, b) ->
+      let held = eval ctx held protected a in
+      eval ctx held protected b
+  | Pexp_let (_, bindings, body) ->
+      let held =
+        List.fold_left
+          (fun h (binding : Parsetree.value_binding) ->
+            match fun_body binding.pvb_expr with
+            | Some _ ->
+                defer ctx binding.pvb_expr;
+                h
+            | None -> eval ctx h protected binding.pvb_expr)
+          held bindings
+      in
+      eval ctx held protected body
+  | Pexp_ifthenelse (cond, then_, else_) ->
+      let held = eval ctx held protected cond in
+      let h1 = eval ctx held protected then_ in
+      let h2 =
+        match else_ with
+        | Some e -> eval ctx held protected e
+        | None -> held
+      in
+      if not (set_eq h1 h2) then
+        report ctx ~line ~code:"RSM-D004"
+          ~hint:"release the lock on every branch, or use Sync.with_lock"
+          "branches disagree about held locks at the join";
+      set_inter h1 h2
+  | Pexp_match (scrutinee, cases) ->
+      let held = eval ctx held protected scrutinee in
+      branch_join ctx ~line held protected cases
+  | Pexp_try (body, cases) ->
+      let after = eval ctx held protected body in
+      (* Handlers run from an unknown point; walk them from the entry
+         state for their own findings without constraining the join
+         (an unlock-and-reraise cleanup handler is legitimate). *)
+      List.iter
+        (fun (case : Parsetree.case) ->
+          ignore (eval ctx held protected case.pc_rhs))
+        cases;
+      after
+  | Pexp_while (cond, body) ->
+      let held = eval ctx held protected cond in
+      let after = eval ctx held protected body in
+      if not (set_eq after held) then
+        report ctx ~line ~code:"RSM-D004"
+          "loop body changes the set of held locks between iterations";
+      held
+  | Pexp_for (_, from_, to_, _, body) ->
+      let held = eval ctx held protected from_ in
+      let held = eval ctx held protected to_ in
+      let after = eval ctx held protected body in
+      if not (set_eq after held) then
+        report ctx ~line ~code:"RSM-D004"
+          "loop body changes the set of held locks between iterations";
+      held
+  | Pexp_fun _ | Pexp_function _ ->
+      defer ctx expr;
+      held
+  | _ ->
+      List.fold_left
+        (fun h child -> eval ctx h protected child)
+        held (A.children expr)
+
+and branch_join ctx ~line held protected (cases : Parsetree.case list) =
+  let results =
+    List.map
+      (fun (case : Parsetree.case) ->
+        (match case.pc_guard with
+        | Some guard -> ignore (eval ctx held protected guard)
+        | None -> ());
+        eval ctx held protected case.pc_rhs)
+      cases
+  in
+  match results with
+  | [] -> held
+  | first :: rest ->
+      if not (List.for_all (set_eq first) rest) then
+        report ctx ~line ~code:"RSM-D004"
+          ~hint:"release the lock on every branch, or use Sync.with_lock"
+          "match arms disagree about held locks at the join";
+      List.fold_left set_inter first rest
+
+(* A closure whose body runs later starts from an empty lock state. *)
+and defer ctx (expr : Parsetree.expression) =
+  match expr.Parsetree.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> check_function ctx ~entry:[] ~protected:[] body
+  | Pexp_function cases ->
+      List.iter
+        (fun (case : Parsetree.case) ->
+          check_function ctx ~entry:[] ~protected:[] case.Parsetree.pc_rhs)
+        cases
+  | _ -> ignore (eval ctx [] [] expr)
+
+(* A function body must give back exactly the locks it was entered
+   with: anything extra on the fallthrough path is a leak. *)
+and check_function ctx ~entry ~protected body =
+  let after = eval ctx entry protected body in
+  let leaked = set_diff after entry in
+  if leaked <> [] then
+    report ctx ~line:(A.line_of body) ~code:"RSM-D004"
+      ~hint:"wrap the locked region in Sync.with_lock or Fun.protect"
+      (Printf.sprintf "%s still held when the function returns"
+         (String.concat ", " leaked))
+
+let check (source : A.source) =
+  let ctx = { src = source; findings = [] } in
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter
+            (fun (binding : Parsetree.value_binding) ->
+              defer ctx binding.pvb_expr)
+            bindings
+      | _ -> ())
+    source.structure;
+  List.rev ctx.findings

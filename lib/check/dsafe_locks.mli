@@ -1,0 +1,21 @@
+(** resim-dsafe pass 4: lock discipline. Symbolically tracks the set of
+    held mutexes along a lexical approximation of control flow and
+    reports:
+
+    - RSM-D004 — a [Mutex.lock] whose unlock does not dominate every
+      exit path: lock still held at the end of a function body or at a
+      raise site, branches that disagree about the lock state at a
+      join, or a loop body that changes it.
+    - RSM-D005 — locking a mutex already held on the same path (manual
+      re-lock or nested [with_lock] on one mutex).
+    - RSM-D006 — a blocking domain operation ([Domain.spawn],
+      [Domain.join], [Pool.await]) while any lock is held.
+    - RSM-D008 — any manual [Mutex.lock]/[Mutex.unlock] call site at
+      all: the tree's one blessed bracket is [Sync.with_lock], and the
+      implementation exempts itself with [(* resim-dsafe: lock-impl *)].
+
+    [Sync.with_lock m f] and [Mutex.lock m; Fun.protect ~finally:(fun
+    () -> Mutex.unlock m) f] are both recognized as releasing [m] on
+    every path. Catalog: DESIGN.md §15. *)
+
+val check : Dsafe_ast.source -> Diagnostic.t list

@@ -1,0 +1,10 @@
+(* The one blessed lock bracket. The two manual Mutex calls below are
+   the implementation of the combinator itself and carry the lock-impl
+   annotation that exempts them from RSM-D008; everything else in the
+   tree uses [with_lock]. *)
+
+let with_lock mutex f =
+  Mutex.lock mutex (* resim-dsafe: lock-impl *);
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex (* resim-dsafe: lock-impl *))
+    f

@@ -1,0 +1,16 @@
+(** Exception-safe mutual exclusion shared by the whole concurrency
+    layer ([Sweep.Pool], the [Reports.Runner] cache, [Obs.Prof]).
+
+    Manual [Mutex.lock] / [Mutex.unlock] brackets leak the lock when
+    the bracketed region raises; every call site in the tree goes
+    through [with_lock] instead, and the resim-dsafe static gate
+    (RSM-D008, DESIGN.md §15) rejects new manual brackets outside this
+    module's implementation. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f ()] with [m] held and releases [m] on
+    every exit path — normal return or raise — via [Fun.protect].
+    [Condition.wait c m] inside [f] composes as usual (the wait
+    releases and reacquires [m] itself). Not reentrant: locking a
+    mutex the calling domain already holds is undefined, and the
+    static gate flags the lexically-visible cases (RSM-D005). *)

@@ -1,4 +1,5 @@
 module Engine = Resim_core.Engine
+module Sync = Resim_core.Sync
 
 type cell = {
   cell_name : string;
@@ -15,24 +16,21 @@ type t = {
 let create () = { mutex = Mutex.create (); cells = Hashtbl.create 16 }
 
 let cell t name =
-  Mutex.lock t.mutex;
-  let cell =
-    match Hashtbl.find_opt t.cells name with
-    | Some cell -> cell
-    | None ->
-        let cell = { cell_name = name; calls = 0; seconds = 0.0; words = 0.0 } in
-        Hashtbl.add t.cells name cell;
-        cell
-  in
-  Mutex.unlock t.mutex;
-  cell
+  Sync.with_lock t.mutex (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some cell -> cell
+      | None ->
+          let cell =
+            { cell_name = name; calls = 0; seconds = 0.0; words = 0.0 }
+          in
+          Hashtbl.add t.cells name cell;
+          cell)
 
 let charge t cell ~seconds ~words =
-  Mutex.lock t.mutex;
-  cell.calls <- cell.calls + 1;
-  cell.seconds <- cell.seconds +. seconds;
-  cell.words <- cell.words +. words;
-  Mutex.unlock t.mutex
+  Sync.with_lock t.mutex (fun () ->
+      cell.calls <- cell.calls + 1;
+      cell.seconds <- cell.seconds +. seconds;
+      cell.words <- cell.words +. words)
 
 (* Words allocated by the current domain so far. *)
 let allocated_words () =
@@ -97,18 +95,17 @@ type section = {
 }
 
 let sections t =
-  Mutex.lock t.mutex;
   let all =
-    Hashtbl.fold
-      (fun _ cell acc ->
-        { name = cell.cell_name;
-          calls = cell.calls;
-          seconds = cell.seconds;
-          allocated_words = cell.words }
-        :: acc)
-      t.cells []
+    Sync.with_lock t.mutex (fun () ->
+        Hashtbl.fold
+          (fun _ cell acc ->
+            { name = cell.cell_name;
+              calls = cell.calls;
+              seconds = cell.seconds;
+              allocated_words = cell.words }
+            :: acc)
+          t.cells [])
   in
-  Mutex.unlock t.mutex;
   List.sort
     (fun a b ->
       match compare b.seconds a.seconds with

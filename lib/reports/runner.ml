@@ -24,28 +24,19 @@ let mutex = Mutex.create ()
 let cache : (cache_key, run) Hashtbl.t = Hashtbl.create 32
 
 let find key =
-  Mutex.lock mutex;
-  let found = Hashtbl.find_opt cache key in
-  Mutex.unlock mutex;
-  found
+  Resim_core.Sync.with_lock mutex (fun () -> Hashtbl.find_opt cache key)
 
 (* Returns the winning entry so racing callers share one [run]. *)
 let store key run =
-  Mutex.lock mutex;
-  let stored =
-    match Hashtbl.find_opt cache key with
-    | Some existing -> existing
-    | None ->
-        Hashtbl.add cache key run;
-        run
-  in
-  Mutex.unlock mutex;
-  stored
+  Resim_core.Sync.with_lock mutex (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some existing -> existing
+      | None ->
+          Hashtbl.add cache key run;
+          run)
 
 let clear_cache () =
-  Mutex.lock mutex;
-  Hashtbl.reset cache;
-  Mutex.unlock mutex
+  Resim_core.Sync.with_lock mutex (fun () -> Hashtbl.reset cache)
 
 let scale_tag workload scale =
   let module K = (val workload : Resim_workloads.Kernel_sig.S) in

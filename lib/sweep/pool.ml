@@ -1,3 +1,5 @@
+module Sync = Resim_core.Sync
+
 type 'a state =
   | Pending
   | Value of 'a
@@ -24,14 +26,12 @@ let jobs t = t.jobs
 
 let worker pool () =
   let take () =
-    Mutex.lock pool.mutex;
-    while Queue.is_empty pool.queue && not pool.stopping do
-      Condition.wait pool.pending pool.mutex
-    done;
-    (* [None] only when stopping and drained. *)
-    let thunk = Queue.take_opt pool.queue in
-    Mutex.unlock pool.mutex;
-    thunk
+    Sync.with_lock pool.mutex (fun () ->
+        while Queue.is_empty pool.queue && not pool.stopping do
+          Condition.wait pool.pending pool.mutex
+        done;
+        (* [None] only when stopping and drained. *)
+        Queue.take_opt pool.queue)
   in
   (* With a profile attached, charge queue-wait and thunk-run time to
      pool/* sections (Prof is mutex-guarded, so worker domains share
@@ -64,7 +64,14 @@ let create ?prof ~jobs () =
       jobs;
       prof }
   in
-  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool));
+  (* Spawn outside the lock (a lock held across Domain.spawn is an
+     RSM-D006 finding), then publish the array under [pool.mutex]:
+     [shutdown] reads [pool.workers] under the same mutex, so the
+     spawned handles are transferred with a happens-before edge rather
+     than through a bare mutable field. The workers themselves never
+     read [pool.workers]. *)
+  let workers = Array.init jobs (fun _ -> Domain.spawn (worker pool)) in
+  Sync.with_lock pool.mutex (fun () -> pool.workers <- workers);
   pool
 
 let submit pool f =
@@ -79,47 +86,43 @@ let submit pool f =
       | value -> Value value
       | exception exn -> Failed (exn, Printexc.get_raw_backtrace ())
     in
-    Mutex.lock task.task_mutex;
-    task.state <- outcome;
-    Condition.broadcast task.task_done;
-    Mutex.unlock task.task_mutex
+    Sync.with_lock task.task_mutex (fun () ->
+        task.state <- outcome;
+        Condition.broadcast task.task_done)
   in
-  Mutex.lock pool.mutex;
-  if pool.stopping then begin
-    Mutex.unlock pool.mutex;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  Queue.push thunk pool.queue;
-  Condition.signal pool.pending;
-  Mutex.unlock pool.mutex;
+  Sync.with_lock pool.mutex (fun () ->
+      if pool.stopping then invalid_arg "Pool.submit: pool is shut down";
+      Queue.push thunk pool.queue;
+      Condition.signal pool.pending);
   task
 
 let await task =
-  Mutex.lock task.task_mutex;
-  let rec wait () =
-    match task.state with
-    | Pending ->
-        Condition.wait task.task_done task.task_mutex;
-        wait ()
-    | Value value ->
-        Mutex.unlock task.task_mutex;
-        value
-    | Failed (exn, backtrace) ->
-        Mutex.unlock task.task_mutex;
-        Printexc.raise_with_backtrace exn backtrace
-  in
-  wait ()
+  Sync.with_lock task.task_mutex (fun () ->
+      let rec wait () =
+        match task.state with
+        | Pending ->
+            Condition.wait task.task_done task.task_mutex;
+            wait ()
+        | Value value -> value
+        | Failed (exn, backtrace) ->
+            Printexc.raise_with_backtrace exn backtrace
+      in
+      wait ())
 
 let shutdown pool =
-  Mutex.lock pool.mutex;
-  if pool.stopped then Mutex.unlock pool.mutex
-  else begin
-    pool.stopping <- true;
-    pool.stopped <- true;
-    Condition.broadcast pool.pending;
-    Mutex.unlock pool.mutex;
-    Array.iter Domain.join pool.workers
-  end
+  (* Flip the flags and collect the handles under the lock; join
+     outside it (workers must be able to take the mutex to drain). *)
+  let to_join =
+    Sync.with_lock pool.mutex (fun () ->
+        if pool.stopped then [||]
+        else begin
+          pool.stopping <- true;
+          pool.stopped <- true;
+          Condition.broadcast pool.pending;
+          pool.workers
+        end)
+  in
+  Array.iter Domain.join to_join
 
 let with_pool ?prof ~jobs f =
   let pool = create ?prof ~jobs () in

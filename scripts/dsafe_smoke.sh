@@ -1,0 +1,123 @@
+#!/bin/sh
+# Negative self-test of the resim-dsafe gate, wired into `make check`
+# (and available as `make dsafe-smoke`): the analyzer must FAIL (exit 1)
+# on a deliberately racy scratch module, reporting each expected RSM-D
+# code, and must PASS (exit 0) on a clean Atomic-based module. A gate
+# that silently stops finding races is worse than no gate.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+DSAFE="$ROOT/_build/default/bin/resim_dsafe.exe"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+if [ ! -x "$DSAFE" ]; then
+    (cd "$ROOT" && dune build bin/resim_dsafe.exe)
+fi
+
+fail=0
+
+# --- racy module: one trigger per diagnostic class --------------------
+cat > "$TMP/racy_scratch.ml" <<'EOF'
+let counter = ref 0
+let table : (string, int) Hashtbl.t = Hashtbl.create 7
+let m = Mutex.create ()
+
+(* resim-dsafe: totally-fine *)
+let bogus = ref 1
+
+let bump () =
+  incr counter;
+  Hashtbl.replace table "hits" !counter
+
+let run () =
+  let d = Array.init 4 (fun _ -> Domain.spawn bump) in
+  Array.iter Domain.join d
+
+let leaky () =
+  Mutex.lock m;
+  if !counter > 10 then failwith "oops";
+  Mutex.unlock m
+
+let double () =
+  Mutex.lock m;
+  Mutex.lock m;
+  Mutex.unlock m;
+  Mutex.unlock m
+
+let join_locked d =
+  Mutex.lock m;
+  Domain.join d;
+  Mutex.unlock m
+
+let _ = (bogus, bump, run, leaky, double, join_locked)
+EOF
+
+status=0
+timeout 60 "$DSAFE" "$TMP/racy_scratch.ml" > "$TMP/racy.out" 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL racy: exit $status, want 1"
+    cat "$TMP/racy.out"
+    fail=1
+fi
+for code in RSM-D001 RSM-D002 RSM-D004 RSM-D005 RSM-D006 RSM-D007 RSM-D008; do
+    if ! grep -q "error\[$code\]" "$TMP/racy.out"; then
+        echo "FAIL racy: missing expected $code"
+        fail=1
+    fi
+done
+echo "ok racy module rejected (exit 1, D001/D002/D004..D008 reported)"
+
+# --- clean module: Atomic state, no manual brackets -------------------
+cat > "$TMP/clean_scratch.ml" <<'EOF'
+let hits = Atomic.make 0
+let bump () = Atomic.incr hits
+
+let run () =
+  let d = Array.init 2 (fun _ -> Domain.spawn bump) in
+  Array.iter Domain.join d;
+  Atomic.get hits
+EOF
+
+status=0
+timeout 60 "$DSAFE" "$TMP/clean_scratch.ml" > "$TMP/clean.out" 2>&1 || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "FAIL clean: exit $status, want 0"
+    cat "$TMP/clean.out"
+    fail=1
+fi
+if ! grep -q "resim-dsafe: clean" "$TMP/clean.out"; then
+    echo "FAIL clean: missing clean summary line"
+    fail=1
+fi
+echo "ok clean module accepted (exit 0)"
+
+# --- annotation budget is enforced ------------------------------------
+status=0
+timeout 60 "$DSAFE" --max-annotations 0 "$TMP/clean_scratch.ml" \
+    > /dev/null 2>&1 || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "FAIL budget: clean module with 0 annotations should fit budget 0"
+    fail=1
+fi
+cat > "$TMP/annotated_scratch.ml" <<'EOF'
+(* resim-dsafe: domain-local *)
+let scratch = ref 0
+let touch () = incr scratch
+let _ = touch
+EOF
+status=0
+timeout 60 "$DSAFE" --max-annotations 0 "$TMP/annotated_scratch.ml" \
+    > "$TMP/budget.out" 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL budget: over-budget annotation should exit 1, got $status"
+    cat "$TMP/budget.out"
+    fail=1
+fi
+echo "ok annotation budget enforced"
+
+if [ "$fail" -ne 0 ]; then
+    echo "dsafe-smoke: FAILED"
+    exit 1
+fi
+echo "dsafe-smoke: clean"

@@ -1,0 +1,22 @@
+(* Fixture: a module that uses every sanctioned guard story at once —
+   Sync.with_lock bracketing, Atomic state crossing domains, and an
+   annotated domain-local scratch table — and must analyze clean. *)
+
+module Sync = Resim_core.Sync
+
+let guard = Mutex.create ()
+let hits = ref 0
+let record () = Sync.with_lock guard (fun () -> incr hits)
+let total = Atomic.make 0
+let bump () = Atomic.incr total
+
+(* resim-dsafe: domain-local *)
+let scratch : (string, unit) Hashtbl.t = Hashtbl.create 7
+let note k = Hashtbl.replace scratch k ()
+
+let run () =
+  let d = Array.init 2 (fun _ -> Domain.spawn bump) in
+  Array.iter Domain.join d;
+  record ();
+  note "done";
+  Atomic.get total

@@ -1,0 +1,8 @@
+(* Fixture: RSM-D001 — a top-level mutable table is captured by a
+   domain-crossing closure and has no guard story anywhere in the
+   module (never locked, never Atomic, never annotated). The capture
+   is read-only so only the inventory-level D001 fires, not D002. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 7
+let lookup () = Hashtbl.find_opt table "key"
+let run () = Domain.join (Domain.spawn lookup)

@@ -1,0 +1,11 @@
+(* Fixture: RSM-D002 — an unguarded write of a ref inside a spawned
+   closure. The ref is lock-guarded elsewhere, so the object itself has
+   a guard story (no D001); this one access bypasses it. *)
+
+module Sync = Resim_core.Sync
+
+let counter = ref 0
+let guard = Mutex.create ()
+let bump () = incr counter
+let audited () = Sync.with_lock guard (fun () -> !counter)
+let run () = Domain.join (Domain.spawn bump)

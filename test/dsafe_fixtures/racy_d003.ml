@@ -1,0 +1,10 @@
+(* Fixture: RSM-D003 — the module's own locking discipline says `hits`
+   is guarded (every other access takes the lock), but `peek` reads it
+   outside any lock region. No domains involved at all. *)
+
+module Sync = Resim_core.Sync
+
+let hits = ref 0
+let guard = Mutex.create ()
+let record () = Sync.with_lock guard (fun () -> incr hits)
+let peek () = !hits

@@ -1,0 +1,11 @@
+(* Fixture: RSM-D004 — the raise path escapes the function with the
+   mutex still held and no Fun.protect/with_lock bracket to release it.
+   The manual brackets carry lock-impl annotations so D008 stays quiet
+   and the fixture isolates D004. *)
+
+let guard = Mutex.create ()
+
+let broken x =
+  Mutex.lock guard (* resim-dsafe: lock-impl *);
+  if x > 3 then failwith "boom";
+  Mutex.unlock guard (* resim-dsafe: lock-impl *)

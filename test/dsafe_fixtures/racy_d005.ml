@@ -1,0 +1,9 @@
+(* Fixture: RSM-D005 — re-entrant acquisition of the same mutex;
+   OCaml's Mutex is not recursive, so this self-deadlocks at runtime. *)
+
+module Sync = Resim_core.Sync
+
+let guard = Mutex.create ()
+
+let twice () =
+  Sync.with_lock guard (fun () -> Sync.with_lock guard (fun () -> ()))

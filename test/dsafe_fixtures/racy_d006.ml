@@ -1,0 +1,8 @@
+(* Fixture: RSM-D006 — blocking on Domain.join while holding a lock;
+   if the joined domain ever needs the same lock this deadlocks, and
+   either way it serializes every contender behind the join. *)
+
+module Sync = Resim_core.Sync
+
+let guard = Mutex.create ()
+let stall d = Sync.with_lock guard (fun () -> Domain.join d)

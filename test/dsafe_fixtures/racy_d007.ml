@@ -1,0 +1,7 @@
+(* resim-dsafe: shared-by-magic *)
+let scratch = ref 0
+
+(* Fixture: RSM-D007 — the annotation above is not in the grammar
+   (domain-local | guarded-by <mutex> | lock-impl), so the analyzer
+   rejects it instead of silently treating it as an allow. *)
+let touch () = incr scratch

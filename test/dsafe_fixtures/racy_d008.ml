@@ -1,0 +1,11 @@
+(* Fixture: RSM-D008 — manual Mutex.lock/unlock bracketing. The pair
+   is balanced and exception-free, so no D004/D005 fires; the finding
+   is purely about bypassing Sync.with_lock. *)
+
+let guard = Mutex.create ()
+let bumps = ref 0
+
+let tally () =
+  Mutex.lock guard;
+  incr bumps;
+  Mutex.unlock guard

@@ -1,0 +1,5 @@
+(* Fixture (cross-module pair, 2/2): spawns a closure that reaches the
+   unguarded mutable registry owned by racy_xmod_state.ml. *)
+
+let probe () = ignore (Hashtbl.find_opt Racy_xmod_state.registry "x")
+let run () = Domain.join (Domain.spawn probe)

@@ -1,0 +1,7 @@
+(* Fixture (cross-module pair, 1/2): this module owns a top-level
+   mutable registry with no guard story. The domain spawn that captures
+   it lives in racy_xmod_spawn.ml — the D001 must be attributed HERE,
+   to the owner's binding, not to the spawn site. *)
+
+let registry : (string, int) Hashtbl.t = Hashtbl.create 7
+let size () = Hashtbl.length registry

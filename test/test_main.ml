@@ -17,6 +17,7 @@ let () =
          Test_reports.suite;
          Test_sweep.suite;
          Test_check.suite;
+         Test_dsafe.suite;
          Test_fault.suite;
          Test_sample.suite;
          Test_spec.suite;
