@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check lint dsafe dsafe-smoke bench faultsmoke obs-smoke obs-guard sample-smoke spec-smoke
+.PHONY: all build test check lint dsafe dsafe-smoke bench faultsmoke obs-smoke obs-guard sample-smoke spec-smoke serve-smoke bench-service
 
 # Wall-clock guard on the PR gate: a hang in any step (the very class
 # of bug the robustness layer exists to prevent) fails the gate after
@@ -55,6 +55,7 @@ check:
 	$(MAKE) obs-smoke
 	$(MAKE) sample-smoke
 	$(MAKE) spec-smoke
+	$(MAKE) serve-smoke
 
 # Every Fault_inject corruption class end to end through resim
 # faultgen / lint / simulate --degraded, each step under timeout.
@@ -76,6 +77,19 @@ sample-smoke: build
 # statistics/pipetrace/metrics are bit-identical either way.
 spec-smoke: build
 	$(TIMEOUT) 900 sh scripts/spec_smoke.sh
+
+# resimd end to end (DESIGN.md §16): daemon up, simulate/sweep/lint
+# jobs over the wire with the documented exit codes, cache hit on
+# resubmission, crashed-worker supervision, garbage-frame handling,
+# loadgen --quick, SIGTERM drain with no stale socket.
+serve-smoke: build
+	$(TIMEOUT) 900 sh scripts/serve_smoke.sh
+
+# Refresh the committed service benchmark (BENCH_service.json):
+# jobs/sec and p50/p99 latency at 1/4/16 clients against a local
+# daemon.
+bench-service: build
+	$(TIMEOUT) 900 sh scripts/bench_service.sh
 
 # No-sink throughput guard: full bench grid vs the committed
 # BENCH_engine.json anchors, gated on the geometric mean (default 2%

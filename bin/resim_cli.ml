@@ -1257,6 +1257,410 @@ let workloads_cmd =
     (Cmd.info "workloads" ~doc:"List the built-in kernels")
     Term.(const workloads $ const ())
 
+(* --- serve / submit / loadgen (DESIGN.md §16) ------------------------ *)
+
+module Server = Resim_serve.Server
+module Serve_client = Resim_serve.Client
+module Serve_protocol = Resim_serve.Protocol
+module Serve_load = Resim_serve.Load
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/resimd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve socket workers max_queue max_per_client retries backoff cache_dir
+    test_hooks verbose =
+  let config =
+    { (Server.default_config ~socket_path:socket) with
+      Server.workers;
+      max_queue;
+      max_per_client;
+      retries;
+      backoff;
+      cache_dir;
+      test_hooks;
+      verbose }
+  in
+  match Server.run config with
+  | Ok () -> ()
+  | Error message ->
+      Printf.eprintf "resim serve: %s\n" message;
+      exit 2
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Queued-job bound; drives shedding and $(b,queue-full) \
+                rejections.")
+  in
+  let max_per_client =
+    Arg.(
+      value & opt int 8
+      & info [ "max-per-client" ] ~docv:"N"
+          ~doc:"Outstanding jobs allowed per client name before \
+                $(b,over-quota).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Times a job is requeued after its worker domain dies \
+                before it is reported as $(b,crash).")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:"Initial crash-requeue delay (doubles per attempt, \
+                capped at 1s).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persist the content-addressed result cache here \
+                (memory-only otherwise).")
+  in
+  let test_hooks =
+    Arg.(
+      value & flag
+      & info [ "test-hooks" ]
+          ~doc:"Enable the $(b,crash-worker) request so tests and the \
+                smoke script can exercise the supervisor.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Supervision chatter on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run resimd, the fault-tolerant simulation job server: \
+             admission control with typed rejections, overload \
+             shedding (lint first, then sweeps, never in-flight \
+             simulates), crashed-worker supervision with capped \
+             retry/backoff, a content-addressed result cache, and \
+             clean drain on SIGTERM")
+    Term.(
+      const serve $ socket_arg $ workers $ max_queue $ max_per_client
+      $ retries $ backoff $ cache_dir $ test_hooks $ verbose)
+
+let submit socket client status lint crash_worker garbage sweep kernels widths
+    kernel scale trace base width rob lsq organization scheduler max_cycles
+    timeout sample quiet =
+  let config_spec =
+    { Serve_protocol.base;
+      width;
+      rob;
+      lsq;
+      organization;
+      scheduler }
+  in
+  let body =
+    if status then Serve_protocol.Status
+    else if crash_worker then Serve_protocol.Crash_worker
+    else
+      match lint with
+      | Some path -> Serve_protocol.Lint { path; max_run = None }
+      | None ->
+          if sweep then
+            Serve_protocol.Sweep_grid
+              { kernels =
+                  (if kernels = [] then [ "gzip"; "vpr" ] else kernels);
+                widths = (if widths = [] then [ 2; 4 ] else widths);
+                config = config_spec;
+                max_cycles;
+                timeout;
+                sample }
+          else
+            Serve_protocol.Simulate
+              { Serve_protocol.kernel;
+                scale;
+                trace;
+                config = config_spec;
+                max_cycles;
+                timeout;
+                sample }
+  in
+  let on_event = function
+    | Serve_protocol.Accepted { job_id } ->
+        if not quiet then Printf.eprintf "job %d accepted\n%!" job_id
+    | Serve_protocol.Progress { completed; total; label } ->
+        if not quiet then
+          Printf.eprintf "[%d/%d] %s\n%!" completed total label
+    | _ -> ()
+  in
+  let outcome =
+    if garbage then
+      (* Test hook: an unframed blob upsets the server, which must
+         answer with a typed protocol error, not a hangup. *)
+      Serve_client.converse_raw ~on_event ~socket "\xff\xff\xff\xffnope"
+    else
+      Serve_client.converse ~on_event ~socket
+        { Serve_protocol.client; body }
+  in
+  match outcome with
+  | Error error ->
+      Printf.eprintf "resim submit: %s\n" (Serve_client.error_to_string error);
+      exit (Serve_client.exit_code_of_error error)
+  | Ok terminal ->
+      (match terminal with
+      | Serve_protocol.Done payload ->
+          Printf.printf "outcome: %s%s (attempt(s): %d)\n"
+            payload.Serve_protocol.outcome
+            (if payload.Serve_protocol.cached then " [cached]" else "")
+            payload.Serve_protocol.attempts;
+          Option.iter
+            (fun detail -> Printf.printf "%s\n" detail)
+            payload.Serve_protocol.detail;
+          Option.iter
+            (fun metrics -> Printf.printf "%s\n" metrics)
+            payload.Serve_protocol.metrics;
+          Option.iter
+            (fun checkpoint ->
+              Printf.printf "checkpoint:\n%s" checkpoint)
+            payload.Serve_protocol.checkpoint
+      | Serve_protocol.Rejected rejection ->
+          Printf.eprintf "rejected: %s\n"
+            (Serve_protocol.rejection_to_string rejection)
+      | Serve_protocol.Status_report
+          { counters; queue; running; workers; draining } ->
+          Printf.printf "workers: %d  queue: %d  running: %d%s\n" workers
+            queue running
+            (if draining then "  (draining)" else "");
+          List.iter
+            (fun (name, count) -> Printf.printf "%s: %d\n" name count)
+            counters
+      | Serve_protocol.Protocol_error fe ->
+          Printf.eprintf "protocol error: %s\n"
+            (Serve_protocol.frame_error_to_string fe)
+      | Serve_protocol.Accepted _ | Serve_protocol.Progress _ -> ());
+      exit (Serve_client.exit_code_of_terminal terminal)
+
+let submit_cmd =
+  let client =
+    Arg.(
+      value & opt string "cli"
+      & info [ "client" ] ~docv:"NAME"
+          ~doc:"Client name for per-client admission quotas.")
+  in
+  let status =
+    Arg.(
+      value & flag
+      & info [ "status" ] ~doc:"Ask for server status instead of a job.")
+  in
+  let lint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "lint" ] ~docv:"TRACE"
+          ~doc:"Submit a trace-lint job for this server-host path.")
+  in
+  let crash_worker =
+    Arg.(
+      value & flag
+      & info [ "crash-worker" ]
+          ~doc:"Test hook: make the worker that takes this job die \
+                (server must run with $(b,--test-hooks)).")
+  in
+  let garbage =
+    Arg.(
+      value & flag
+      & info [ "send-garbage" ]
+          ~doc:"Test hook: send an oversized junk frame and report the \
+                server's typed protocol error.")
+  in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Submit a kernels × widths sweep grid as one streamed \
+                job.")
+  in
+  let kernels =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "kernels" ] ~docv:"K1,K2"
+          ~doc:"Sweep kernels (default gzip,vpr).")
+  in
+  let widths =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "widths" ] ~docv:"W1,W2" ~doc:"Sweep widths (default 2,4).")
+  in
+  let kernel =
+    Arg.(
+      value & opt string "gzip"
+      & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"Simulate kernel.")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "s"; "scale" ] ~docv:"N" ~doc:"Kernel scale (input size).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Simulate this encoded trace (server-host path) instead \
+                of generating from a kernel.")
+  in
+  let base =
+    Arg.(
+      value & opt string "reference"
+      & info [ "base" ] ~docv:"NAME"
+          ~doc:"Base configuration: reference or fast.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "w"; "width" ] ~docv:"N"
+          ~doc:"Issue-width override (derives the same front end as \
+                $(b,resim vhdl)).")
+  in
+  let rob =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rob" ] ~docv:"N" ~doc:"ROB entries override.")
+  in
+  let lsq =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lsq" ] ~docv:"N" ~doc:"LSQ entries override.")
+  in
+  let organization =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "organization" ] ~docv:"ORG"
+          ~doc:"Organization override (simple|improved|optimized).")
+  in
+  let scheduler =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scheduler" ] ~docv:"SCHED"
+          ~doc:"Scheduler override (scan|event).")
+  in
+  let max_cycles =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "max-cycles" ] ~docv:"N"
+          ~doc:"Per-job cycle budget; hitting it yields a partial \
+                result plus a resumable checkpoint.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-job wall budget.")
+  in
+  let sample =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sample" ] ~docv:"SPEC"
+          ~doc:"Sampled simulation spec detail:warmup[:seed].")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress accepted/progress chatter.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a job to a running $(b,resim serve) daemon and \
+             stream its events. Exit codes: job's own code (0 ok or \
+             truncated, 1 lint errors, 2 invalid config/request, 3 \
+             server-side fault) plus 4 when the server is unreachable \
+             and 5 when admission rejects the job (quota, queue, \
+             shedding, draining)")
+    Term.(
+      const submit $ socket_arg $ client $ status $ lint $ crash_worker
+      $ garbage $ sweep $ kernels $ widths $ kernel $ scale $ trace $ base
+      $ width $ rob $ lsq $ organization $ scheduler $ max_cycles $ timeout
+      $ sample $ quiet)
+
+let loadgen socket kernel jobs clients quick output =
+  let client_counts = if quick then [ 1; 2 ] else clients in
+  let jobs_per_client = if quick then 2 else jobs in
+  let tiers =
+    Serve_load.run ~kernel ~jobs_per_client ~client_counts ~socket ()
+  in
+  List.iter
+    (fun tier ->
+      Printf.printf
+        "%2d client(s): %5.1f jobs/s  p50 %6.1f ms  p99 %6.1f ms  (%d \
+         job(s), %d error(s))\n"
+        tier.Serve_load.clients tier.Serve_load.jobs_per_sec
+        tier.Serve_load.p50_ms tier.Serve_load.p99_ms tier.Serve_load.jobs
+        tier.Serve_load.errors)
+    tiers;
+  match output with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Serve_load.to_json tiers));
+      Printf.printf "wrote %s\n" path
+
+let loadgen_cmd =
+  let kernel =
+    Arg.(
+      value & opt string "gzip"
+      & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"Kernel to submit.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 8
+      & info [ "jobs" ] ~docv:"N" ~doc:"Jobs per client.")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4; 16 ]
+      & info [ "clients" ] ~docv:"N1,N2"
+          ~doc:"Client-count tiers to measure.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"CI-sized run: tiers 1,2 with 2 jobs per client.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the tier table as JSON (BENCH_service.json).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running $(b,resim serve) daemon with N concurrent \
+             clients and report jobs/sec with p50/p99 latency per tier")
+    Term.(
+      const loadgen $ socket_arg $ kernel $ jobs $ clients $ quick $ output)
+
 let () =
   let info =
     Cmd.info "resim" ~version:Resim_core.Resim.version
@@ -1269,4 +1673,4 @@ let () =
           [ tracegen_cmd; faultgen_cmd; simulate_cmd; area_cmd;
             schedule_cmd; table_cmd; sweep_cmd; bench_cmd; lint_cmd;
             disasm_cmd; vhdl_cmd; ptrace_cmd; profile_cmd;
-            workloads_cmd ]))
+            workloads_cmd; serve_cmd; submit_cmd; loadgen_cmd ]))

@@ -11,9 +11,13 @@ type t = {
   cycle : int64;           (* major cycles completed *)
   cursor : int;            (* trace records consumed *)
   counters : (string * int64) list;  (* Stats.to_assoc snapshot *)
+  engine : string option;  (* engine-version/config-hash identity *)
 }
 
-let make ~cycle ~cursor ~counters = { cycle; cursor; counters }
+let make ?engine ~cycle ~cursor ~counters () =
+  { cycle; cursor; counters; engine }
+
+let with_engine engine t = { t with engine = Some engine }
 
 let magic = "RSCP"
 let version = 1
@@ -23,6 +27,9 @@ let to_string t =
   Buffer.add_string b (Printf.sprintf "%s %d\n" magic version);
   Buffer.add_string b (Printf.sprintf "cycle %Ld\n" t.cycle);
   Buffer.add_string b (Printf.sprintf "cursor %d\n" t.cursor);
+  (match t.engine with
+  | Some engine -> Buffer.add_string b (Printf.sprintf "engine %s\n" engine)
+  | None -> ());
   List.iter
     (fun (name, value) ->
       Buffer.add_string b (Printf.sprintf "counter %s %Ld\n" name value))
@@ -78,6 +85,7 @@ let of_string data =
             (Printf.sprintf "bad header %S (expected %S)" header expected);
         let cycle = ref None in
         let cursor = ref None in
+        let engine = ref None in
         let counters = ref [] in
         let seen_counters = Hashtbl.create 16 in
         List.iter
@@ -99,6 +107,12 @@ let of_string data =
                 | None ->
                     fail ~code:"RSM-K004" ~line
                       (Printf.sprintf "unparseable cursor value %S" v))
+            | [ "engine"; v ] ->
+                if Option.is_some !engine then
+                  fail ~code:"RSM-K005" ~line "duplicate key engine";
+                if String.length v = 0 then
+                  fail ~code:"RSM-K004" ~line "empty engine identity";
+                engine := Some v
             | [ "counter"; name; v ] -> (
                 if Hashtbl.mem seen_counters name then
                   fail ~code:"RSM-K005" ~line
@@ -125,11 +139,29 @@ let of_string data =
           | None ->
               fail ~code:"RSM-K006" ~line:0 "missing required key cursor"
         in
-        { cycle; cursor; counters = List.rev !counters }
+        { cycle; cursor; counters = List.rev !counters; engine = !engine }
   in
   match parse () with
   | checkpoint -> Ok checkpoint
   | exception Bad error -> Error error
+
+(* RSM-K007: engine-identity mismatch. A handle stamped by one engine
+   build/configuration must not seed a verification replay on another —
+   the replay would "verify" against the wrong machine. Handles without
+   a stamp (legacy, or hand-built in tests) still rely on the replay
+   verification alone. *)
+let verify_engine ~expected t =
+  match t.engine with
+  | None -> Ok ()
+  | Some engine when String.equal engine expected -> Ok ()
+  | Some engine ->
+      Error
+        { code = "RSM-K007";
+          line = 0;
+          reason =
+            Printf.sprintf
+              "engine identity mismatch: checkpoint %s, this build %s" engine
+              expected }
 
 let save path t =
   let oc = open_out_bin path in

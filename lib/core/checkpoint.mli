@@ -13,10 +13,17 @@ type t = {
   cycle : int64;   (** major cycles completed when the run stopped *)
   cursor : int;    (** trace records consumed *)
   counters : (string * int64) list;  (** {!Stats.to_assoc} snapshot *)
+  engine : string option;
+      (** engine-version/config-hash identity ({!Resim.engine_identity})
+          stamped at save time; [None] on legacy handles *)
 }
 
 val make :
-  cycle:int64 -> cursor:int -> counters:(string * int64) list -> t
+  ?engine:string ->
+  cycle:int64 -> cursor:int -> counters:(string * int64) list -> unit -> t
+
+val with_engine : string -> t -> t
+(** Stamp (or replace) the engine identity on a handle. *)
 
 val to_string : t -> string
 (** Stable line-oriented text form ([RSCP 1] header). *)
@@ -29,10 +36,18 @@ val to_string : t -> string
     [RSM-K002] bad header, [RSM-K003] malformed line, [RSM-K004]
     unparseable value (values are strict unsigned decimal — no sign,
     hex or underscores), [RSM-K005] duplicate key or counter,
-    [RSM-K006] missing required key. *)
+    [RSM-K006] missing required key, [RSM-K007] engine-identity
+    mismatch ({!verify_engine}). *)
 type error = { code : string; line : int; reason : string }
 
 val error_to_string : error -> string
+
+val verify_engine : expected:string -> t -> (unit, error) result
+(** Refuse ([RSM-K007]) a handle stamped with a different engine
+    identity than [expected] — a checkpoint taken on one engine
+    build/configuration must not seed a verification replay on
+    another. Unstamped handles pass; the replay verification is then
+    the only guard. *)
 
 val of_string : string -> (t, error) result
 (** Strict parse: any malformation refuses the whole checkpoint (and

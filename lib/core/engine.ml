@@ -1137,7 +1137,7 @@ let cursor t = t.cursor
 
 let checkpoint t =
   Checkpoint.make ~cycle:(Int64.of_int t.cycle) ~cursor:t.cursor
-    ~counters:(Stats.to_assoc t.stats)
+    ~counters:(Stats.to_assoc t.stats) ()
 
 let deadlock_here t ~reason ~stuck_for =
   { reason;

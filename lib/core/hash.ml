@@ -1,0 +1,52 @@
+(* Content hashing for the result cache and checkpoint identity.
+
+   FNV-1a over 64 bits: trivially portable, allocation-free on the
+   fold, and plenty for cache keying — a collision costs a spurious
+   cache hit on a *completed result*, which the server only ever
+   stores keyed by (engine identity, config hash, trace hash), so the
+   adversary is an accident, not an attacker. Rendered as 16 lowercase
+   hex digits so keys are filesystem- and wire-safe. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fold_string seed s =
+  let h = ref seed in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let to_hex h = Printf.sprintf "%016Lx" h
+let string s = to_hex (fold_string fnv_offset s)
+
+let strings parts =
+  (* Length-prefix each part so ["ab"; "c"] and ["a"; "bc"] differ. *)
+  let h = ref fnv_offset in
+  List.iter
+    (fun part ->
+      h := fold_string !h (string_of_int (String.length part));
+      h := fold_string !h "\x00";
+      h := fold_string !h part)
+    parts;
+  to_hex !h
+
+(* The configuration is hashed through its marshalled bytes: every
+   field participates (nested predictor/cache records included), and
+   for immutable data the encoding is deterministic within a build —
+   which is the only scope a cache key needs, since the engine
+   identity string already pins the build version. *)
+let config (c : Config.t) = string (Marshal.to_string c [])
+
+let file path =
+  match open_in_bin path with
+  | exception Sys_error message -> Error message
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | data -> Ok (string data)
+          | exception Sys_error message -> Error message
+          | exception End_of_file -> Error (path ^ ": truncated read"))

@@ -1,0 +1,19 @@
+(** Content hashing for the server's result cache and for checkpoint
+    engine identity: FNV-1a over 64 bits, rendered as 16 lowercase hex
+    digits (filesystem- and wire-safe). Not cryptographic — the keys
+    guard against accidental reuse, not adversaries. *)
+
+val string : string -> string
+(** Hash of the bytes of [s]. *)
+
+val strings : string list -> string
+(** Hash of a part list; parts are length-prefixed so the grouping is
+    part of the identity ([["ab"; "c"]] ≠ [["a"; "bc"]]). *)
+
+val config : Config.t -> string
+(** Hash covering every configuration field (nested predictor/cache
+    records included). Stable within an engine build — the scope a
+    cache key needs, since {!Resim.engine_identity} pins the build. *)
+
+val file : string -> (string, string) result
+(** Hash of a file's bytes; [Error] carries the IO failure message. *)

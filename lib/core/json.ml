@@ -27,11 +27,21 @@ let add_string buffer s =
 let quote s = "\"" ^ escape s ^ "\""
 
 (* ------------------------------------------------------------------ *)
-(* Strict validating parser (RFC 8259 grammar, values discarded).      *)
+(* Strict parser (RFC 8259 grammar). [parse] builds a value tree — the
+   wire-protocol layer (Resim_serve.Protocol) reads requests through
+   it — and [validate] is the same grammar with the tree discarded. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
 
 exception Bad of int * string
 
-let validate data =
+let parse data =
   let n = String.length data in
   let pos = ref 0 in
   let fail reason = raise (Bad (!pos, reason)) in
@@ -60,8 +70,24 @@ let validate data =
     | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
     | _ -> false
   in
+  (* Decoded \uXXXX escapes are emitted as UTF-8; our own emitters only
+     produce \u00xx (control bytes), so escape/parse round-trips
+     byte-for-byte on every string [escape] can produce. *)
+  let add_code_point buffer cp =
+    if cp < 0x80 then Buffer.add_char buffer (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buffer (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buffer (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buffer (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buffer (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buffer (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
   let parse_string () =
     expect '"';
+    let buffer = Buffer.create 16 in
     let closed = ref false in
     while not !closed do
       match peek () with
@@ -70,20 +96,37 @@ let validate data =
       | Some '\\' -> (
           advance ();
           match peek () with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          | Some ('"' | '\\' | '/') as c ->
+              Buffer.add_char buffer (Option.get c);
               advance ()
+          | Some 'b' -> Buffer.add_char buffer '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buffer '\012'; advance ()
+          | Some 'n' -> Buffer.add_char buffer '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buffer '\r'; advance ()
+          | Some 't' -> Buffer.add_char buffer '\t'; advance ()
           | Some 'u' ->
               advance ();
+              let cp = ref 0 in
               for _ = 1 to 4 do
                 match peek () with
-                | Some c when is_hex c -> advance ()
+                | Some c when is_hex c ->
+                    let digit =
+                      match c with
+                      | '0' .. '9' -> Char.code c - Char.code '0'
+                      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                      | _ -> Char.code c - Char.code 'A' + 10
+                    in
+                    cp := (!cp * 16) + digit;
+                    advance ()
                 | _ -> fail "bad \\u escape"
-              done
+              done;
+              add_code_point buffer !cp
           | Some c -> fail (Printf.sprintf "bad escape \\%C" c)
           | None -> fail "unterminated escape")
       | Some c when Char.code c < 0x20 -> fail "raw control character"
-      | Some _ -> advance ()
-    done
+      | Some c -> Buffer.add_char buffer c; advance ()
+    done;
+    Buffer.contents buffer
   in
   let digits () =
     let start = !pos in
@@ -95,6 +138,7 @@ let validate data =
     if !pos = start then fail "expected digit"
   in
   let parse_number () =
+    let start = !pos in
     if peek () = Some '-' then advance ();
     digits ();
     if peek () = Some '.' then begin
@@ -108,58 +152,92 @@ let validate data =
         | Some ('+' | '-') -> advance ()
         | _ -> ());
         digits ()
-    | _ -> ())
+    | _ -> ());
+    match float_of_string_opt (String.sub data start (!pos - start)) with
+    | Some value -> value
+    | None -> fail "unrepresentable number"
   in
   let rec parse_value () =
     skip_ws ();
     match peek () with
     | None -> fail "expected a value"
-    | Some '"' -> parse_string ()
+    | Some '"' -> String (parse_string ())
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then advance ()
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
         else begin
+          let members = ref [] in
           let more = ref true in
           while !more do
             skip_ws ();
-            parse_string ();
+            let key = parse_string () in
             skip_ws ();
             expect ':';
-            parse_value ();
+            let value = parse_value () in
+            members := (key, value) :: !members;
             skip_ws ();
             match peek () with
             | Some ',' -> advance ()
             | Some '}' -> advance (); more := false
             | _ -> fail "expected ',' or '}' in object"
-          done
+          done;
+          Obj (List.rev !members)
         end
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then advance ()
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
         else begin
+          let elements = ref [] in
           let more = ref true in
           while !more do
-            parse_value ();
+            elements := parse_value () :: !elements;
             skip_ws ();
             match peek () with
             | Some ',' -> advance ()
             | Some ']' -> advance (); more := false
             | _ -> fail "expected ',' or ']' in array"
-          done
+          done;
+          List (List.rev !elements)
         end
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some 't' -> literal "true"; Bool true
+    | Some 'f' -> literal "false"; Bool false
+    | Some 'n' -> literal "null"; Null
+    | Some ('-' | '0' .. '9') -> Number (parse_number ())
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in
   match
-    parse_value ();
+    let value = parse_value () in
     skip_ws ();
-    if !pos <> n then fail "trailing garbage after document"
+    if !pos <> n then fail "trailing garbage after document";
+    value
   with
-  | () -> Ok ()
+  | value -> Ok value
   | exception Bad (offset, reason) ->
       Error (Printf.sprintf "offset %d: %s" offset reason)
+
+let validate data =
+  match parse data with Ok _ -> Ok () | Error reason -> Error reason
+
+(* --- accessors over parsed values --------------------------------- *)
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let string_value = function String s -> Some s | _ -> None
+let number_value = function Number n -> Some n | _ -> None
+let bool_value = function Bool b -> Some b | _ -> None
+
+let int_value value =
+  match value with
+  | Number n when Float.is_integer n && Float.abs n <= 1e15 ->
+      Some (int_of_float n)
+  | _ -> None

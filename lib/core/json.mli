@@ -21,8 +21,33 @@ val add_string : Buffer.t -> string -> unit
 val quote : string -> string
 (** [quote s] is ["\"" ^ escape s ^ "\""]. *)
 
+(** Parsed JSON document. Object members keep their source order;
+    duplicate keys are preserved ([member] returns the first). *)
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+val parse : string -> (value, string) result
+(** Strict whole-document RFC-8259 parse: objects, arrays, strings with
+    escapes ([\uXXXX] decoded to UTF-8), numbers (floats and
+    exponents), [true], [false], [null]. [Error] carries a byte offset
+    and reason. The wire protocol ({!Resim_serve.Protocol}) reads every
+    request and event through this. *)
+
 val validate : string -> (unit, string) result
-(** Strict whole-document JSON parse: objects, arrays, strings with
-    escapes, numbers (including floats and exponents), [true], [false],
-    [null]. [Error] carries a byte offset and reason. Used to assert
-    that every emitter in the tree produces well-formed documents. *)
+(** [parse] with the tree discarded. Used to assert that every emitter
+    in the tree produces well-formed documents. *)
+
+val member : string -> value -> value option
+(** First member with that key of an [Obj]; [None] otherwise. *)
+
+val string_value : value -> string option
+val number_value : value -> float option
+val bool_value : value -> bool option
+
+val int_value : value -> int option
+(** [Some] only for numbers that are exact integers within 10{^15}. *)

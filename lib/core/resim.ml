@@ -1,5 +1,10 @@
 let version = "1.0.0"
 
+(* Identity of "this engine build running this configuration" — what a
+   checkpoint or cache entry is only valid against. The version pins
+   the build; the config hash pins every simulated-machine parameter. *)
+let engine_identity config = version ^ "/" ^ Hash.config config
+
 type outcome = {
   config : Config.t;
   stats : Stats.t;
@@ -56,7 +61,13 @@ let simulate_robust ?(config = Config.reference) ?watchdog ?max_cycles
     in
     { outcome = outcome_of ~config ~records engine bounded.Engine.final;
       stop = bounded.Engine.stop;
-      resume = bounded.Engine.resume }
+      resume =
+        (* Stamp truncation handles with the engine identity so a
+           client holding one cannot replay it on a different build or
+           configuration (RSM-K007 at resume). *)
+        Option.map
+          (Checkpoint.with_engine (engine_identity config))
+          bounded.Engine.resume }
   with
   | robust -> Ok robust
   | exception Resim_trace.Fault.Trace_fault fault -> Error (Fault fault)
@@ -64,6 +75,14 @@ let simulate_robust ?(config = Config.reference) ?watchdog ?max_cycles
 
 let resume_trace ?(config = Config.reference) ~checkpoint records =
   let target = checkpoint.Checkpoint.cycle in
+  (* Identity check first (RSM-K007): refusing a foreign-build handle
+     outright beats letting the replay run to a baffling statistics
+     mismatch. *)
+  match
+    Checkpoint.verify_engine ~expected:(engine_identity config) checkpoint
+  with
+  | Error error -> Error (Checkpoint.error_to_string error)
+  | Ok () ->
   match
     let engine = Engine.create ~config records in
     while

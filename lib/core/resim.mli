@@ -16,6 +16,12 @@
 
 val version : string
 
+val engine_identity : Config.t -> string
+(** ["<version>/<config hash>"] — the identity a checkpoint or cached
+    result is only valid against. Stamped onto truncation checkpoints
+    by {!simulate_robust}, checked on resume ([RSM-K007]), and used as
+    the engine component of the server's cache keys. *)
+
 type outcome = {
   config : Config.t;
   stats : Stats.t;
@@ -97,7 +103,9 @@ val resume_trace :
     checkpoint cycle, verify the cursor and every statistics register
     match the snapshot (refusing a checkpoint from a different trace or
     configuration), then run to completion. The final statistics are
-    bit-identical to an unbounded run by construction. *)
+    bit-identical to an unbounded run by construction. A checkpoint
+    stamped with a different {!engine_identity} is refused before the
+    replay starts ([RSM-K007]). *)
 
 (** {1 Paper metrics} *)
 

@@ -1,0 +1,31 @@
+(** Content-addressed, persisted result cache (DESIGN.md §16).
+
+    Keys derive from (engine identity, trace identity, sample spec) —
+    the engine identity ({!Resim_core.Resim.engine_identity}) already
+    folds in the build version and a hash of every configuration
+    field. Values are fully-encoded [done] event payloads of
+    *completed* runs; truncated or failed outcomes are never stored.
+    Entries persist as [<dir>/<key>.json], so a repeat submission from
+    any client — or after a daemon restart — is a hit, not a re-run.
+
+    All table accesses are [Sync.with_lock]-bracketed (PR 8 bar). *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** In-memory cache, persisted under [dir] when given (created if
+    missing; IO failures degrade to memory-only, never raise). *)
+
+val key : engine:string -> trace:string -> sample:string option -> string
+(** Cache key. [engine] is {!Resim_core.Resim.engine_identity} output
+    (version + config hash); [trace] is the trace-content hash for
+    file jobs or ["kernel:<name>:<scale>"] for generated ones. *)
+
+val find : t -> string -> string option
+(** Memory first, then the persisted entry (promoted into memory). *)
+
+val store : t -> string -> string -> unit
+(** Insert and persist (write-then-rename; IO failures degrade to
+    memory-only). *)
+
+val size : t -> int

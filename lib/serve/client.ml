@@ -1,0 +1,110 @@
+(* Blocking client for the resimd wire protocol (DESIGN.md §16).
+
+   One request, one connection: connect, send a single framed request,
+   then read framed events until a terminal one (done / rejected /
+   status / protocol-error) or the stream ends. Every failure mode is
+   a typed [error] so callers — the CLI, the load generator, the test
+   suite — map outcomes to exit codes without string matching.
+
+   This module spawns nothing and shares nothing; the load generator's
+   worker domains call into it cross-module with connection-local
+   state only. *)
+
+type error =
+  | Refused of string              (* could not connect: exit 4 *)
+  | Transport of string            (* stream died mid-conversation *)
+  | Malformed of Protocol.frame_error  (* unparseable server bytes *)
+
+let error_to_string = function
+  | Refused detail -> Printf.sprintf "connection refused: %s" detail
+  | Transport detail -> Printf.sprintf "connection lost: %s" detail
+  | Malformed fe -> Protocol.frame_error_to_string fe
+
+(* Client-side exit codes 4 (unreachable) and 5 (admission refusal)
+   extend the simulate/sweep/lint codes 0-3 that travel inside [Done]
+   payloads; [Bad_request] keeps the invalid-input code 2. *)
+let exit_code_of_error = function
+  | Refused _ -> 4
+  | Transport _ | Malformed _ -> 3
+
+let exit_code_of_terminal = function
+  | Protocol.Done payload -> payload.Protocol.exit_code
+  | Protocol.Rejected (Protocol.Bad_request _) -> 2
+  | Protocol.Rejected _ -> 5
+  | Protocol.Status_report _ -> 0
+  | Protocol.Protocol_error _ -> 3
+  | Protocol.Accepted _ | Protocol.Progress _ -> 3
+
+let connect socket =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  match Unix.connect fd (ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (code, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Refused (Unix.error_message code))
+
+let send_all fd data =
+  let len = String.length data in
+  let rec go sent =
+    if sent >= len then Ok ()
+    else
+      match Unix.write_substring fd data sent (len - sent) with
+      | exception Unix.Unix_error (EINTR, _, _) -> go sent
+      | exception Unix.Unix_error (code, _, _) ->
+          Error (Transport (Unix.error_message code))
+      | written -> go (sent + written)
+  in
+  go 0
+
+let is_terminal = function
+  | Protocol.Done _ | Protocol.Rejected _ | Protocol.Status_report _
+  | Protocol.Protocol_error _ ->
+      true
+  | Protocol.Accepted _ | Protocol.Progress _ -> false
+
+(* Send [raw] as one frame and read events until a terminal one.
+   [raw] is normally [Protocol.encode_request r]; tests use it to
+   shove garbage and truncated frames down the wire. *)
+let converse_raw ?(on_event = fun (_ : Protocol.event) -> ()) ~socket raw =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match send_all fd raw with
+          | Error _ as e -> e
+          | Ok () ->
+              let inbuf = Buffer.create 512 in
+              let chunk = Bytes.create 65536 in
+              let rec read_events offset =
+                let data = Buffer.contents inbuf in
+                match Protocol.next_frame data ~offset with
+                | Error fe -> Error (Malformed fe)
+                | Ok (Some (payload, next)) -> (
+                    match Protocol.decode_event payload with
+                    | Error fe -> Error (Malformed fe)
+                    | Ok event ->
+                        on_event event;
+                        if is_terminal event then Ok event
+                        else read_events next)
+                | Ok None -> (
+                    match Unix.read fd chunk 0 (Bytes.length chunk) with
+                    | exception Unix.Unix_error (EINTR, _, _) ->
+                        read_events offset
+                    | exception Unix.Unix_error (code, _, _) ->
+                        Error (Transport (Unix.error_message code))
+                    | 0 ->
+                        Error
+                          (Transport
+                             "server closed the stream before a terminal \
+                              event")
+                    | n ->
+                        Buffer.add_subbytes inbuf chunk 0 n;
+                        read_events offset)
+              in
+              read_events 0)
+
+let converse ?on_event ~socket request =
+  converse_raw ?on_event ~socket
+    (Protocol.frame (Protocol.encode_request request))

@@ -1,0 +1,36 @@
+(** Blocking client for the resimd wire protocol.
+
+    One request per connection; events stream back until a terminal
+    one. Failures are typed so callers map them straight onto the
+    documented exit codes: 4 for an unreachable server, 5 for a typed
+    admission refusal, 2 for a bad request, 3 for transport or
+    protocol faults, and the payload's own code (0-3) for completed
+    jobs. *)
+
+type error =
+  | Refused of string  (** could not connect — exit 4 *)
+  | Transport of string  (** stream died mid-conversation — exit 3 *)
+  | Malformed of Protocol.frame_error  (** unparseable bytes — exit 3 *)
+
+val error_to_string : error -> string
+val exit_code_of_error : error -> int
+
+val exit_code_of_terminal : Protocol.event -> int
+(** Exit code implied by a terminal event (see module doc). *)
+
+val converse :
+  ?on_event:(Protocol.event -> unit) ->
+  socket:string ->
+  Protocol.request ->
+  (Protocol.event, error) result
+(** Connect to [socket], send the request, stream events through
+    [on_event] (terminal one included) and return the terminal
+    event. *)
+
+val converse_raw :
+  ?on_event:(Protocol.event -> unit) ->
+  socket:string ->
+  string ->
+  (Protocol.event, error) result
+(** [converse] over pre-framed bytes — lets tests send truncated,
+    oversized or garbage frames and observe the typed error reply. *)

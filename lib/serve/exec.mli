@@ -1,0 +1,33 @@
+(** Request execution on a worker domain.
+
+    Confined by construction: engines, traces and statistics live and
+    die on the calling domain; only immutable payload records flow
+    back. Runs under [Sweep.run_job_robust]'s fault domain, so every
+    failure mode is a typed outcome in the returned payload — this
+    function raises only for the [Crash_worker] test hook. *)
+
+exception Crashed_on_purpose
+(** Raised (deliberately) by the [Crash_worker] test hook so the
+    worker domain dies and the supervisor's respawn path runs. *)
+
+val cache_key : Protocol.body -> string option
+(** The content-addressed cache key for a cacheable request — only
+    simulates qualify; [None] for everything else, for unresolvable
+    configs, and for unreadable trace files. Budgets are deliberately
+    not part of the key: only completed ("ok") outcomes are ever
+    stored, and a run that completed under a budget is bit-identical
+    to one that never had it. *)
+
+val run :
+  ?progress:(completed:int -> total:int -> label:string -> unit) ->
+  retries:int ->
+  backoff:float ->
+  max_backoff:float ->
+  test_hooks:bool ->
+  Protocol.body ->
+  Protocol.done_payload
+(** Execute one request body to completion. [progress] fires after
+    each sweep sub-job (simulates and lints report no intermediate
+    progress). [retries]/[backoff]/[max_backoff] bound the host-
+    transient retry loop ({!Resim_sweep.Sweep.retryable} outcomes
+    only). *)

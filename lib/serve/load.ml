@@ -1,0 +1,113 @@
+(* Load generator for resimd (DESIGN.md §16).
+
+   Spawns N client domains against a running server; each runs a
+   fixed number of small simulate requests and measures wall-clock
+   latency per request. The driver repeats the measurement for each
+   requested client count (1/4/16 by default) and reports jobs/sec
+   with p50/p99 latency per tier — the numbers in BENCH_service.json.
+
+   Domain-safety: [client_body] is the spawned closure, so it is
+   written mutation-free — a tail recursion accumulating latencies in
+   lists, calling only cross-module code ([Client], [Unix]). All
+   aggregation (sorting, percentiles, JSON) happens on the calling
+   domain after the joins. *)
+
+type tier = {
+  clients : int;
+  jobs : int;           (* requests that reached a terminal event *)
+  completed : int;      (* [Done] with exit 0 *)
+  errors : int;         (* transport errors + non-zero outcomes *)
+  duration : float;     (* wall seconds for the whole tier *)
+  jobs_per_sec : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+(* Each (client, job) pair gets its own kernel scale so requests stay
+   tiny but mostly miss the server's content-addressed cache; a few
+   collisions are realistic mixed load. *)
+let default_request ~kernel ~client ~job =
+  { Protocol.client = Printf.sprintf "loadgen-%d" client;
+    body =
+      Protocol.Simulate
+        { Protocol.kernel;
+          scale = Some (192 + ((client * 17) + job) mod 64);
+          trace = None;
+          config = Protocol.reference_spec;
+          max_cycles = None;
+          timeout = None;
+          sample = None } }
+
+let client_body ~socket ~kernel ~client ~jobs () =
+  let rec go job lats errors =
+    if job >= jobs then (lats, errors)
+    else
+      let t0 = Unix.gettimeofday () in
+      match
+        Client.converse ~socket (default_request ~kernel ~client ~job)
+      with
+      | Ok (Protocol.Done payload) ->
+          let latency = (Unix.gettimeofday () -. t0) *. 1000. in
+          if payload.Protocol.exit_code = 0 then
+            go (job + 1) (latency :: lats) errors
+          else go (job + 1) lats (errors + 1)
+      | Ok _ | Error _ -> go (job + 1) lats (errors + 1)
+  in
+  go 0 [] 0
+
+let percentile sorted fraction =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n ->
+      let rank = int_of_float (ceil (fraction *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+
+let run_tier ~socket ~kernel ~jobs_per_client clients =
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init clients (fun client ->
+        Domain.spawn
+          (client_body ~socket ~kernel ~client ~jobs:jobs_per_client))
+  in
+  let results = List.map Domain.join domains in
+  let duration = Unix.gettimeofday () -. t0 in
+  let latencies =
+    Array.of_list (List.concat_map (fun (lats, _) -> lats) results)
+  in
+  Array.sort compare latencies;
+  let completed = Array.length latencies in
+  let errors = List.fold_left (fun acc (_, e) -> acc + e) 0 results in
+  { clients;
+    jobs = completed + errors;
+    completed;
+    errors;
+    duration;
+    jobs_per_sec =
+      (if duration > 0. then float_of_int (completed + errors) /. duration
+       else 0.);
+    p50_ms = percentile latencies 0.50;
+    p99_ms = percentile latencies 0.99 }
+
+let run ?(kernel = "gzip") ?(jobs_per_client = 8)
+    ?(client_counts = [ 1; 4; 16 ]) ~socket () =
+  List.map (run_tier ~socket ~kernel ~jobs_per_client) client_counts
+
+(* BENCH_service.json — same flavor as the other BENCH_* emitters. *)
+let to_json ?(label = "service") tiers =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"bench\": %S,\n" label);
+  Buffer.add_string b "  \"tiers\": [\n";
+  List.iteri
+    (fun i tier ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"clients\": %d, \"jobs\": %d, \"completed\": %d, \
+            \"errors\": %d, \"duration_s\": %.3f, \"jobs_per_sec\": %.2f, \
+            \"p50_ms\": %.2f, \"p99_ms\": %.2f}%s\n"
+           tier.clients tier.jobs tier.completed tier.errors tier.duration
+           tier.jobs_per_sec tier.p50_ms tier.p99_ms
+           (if i = List.length tiers - 1 then "" else ",")))
+    tiers;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,27 @@
+(** Load generator for resimd: N client domains firing small simulate
+    requests at a running server, reporting jobs/sec and p50/p99
+    latency per client-count tier (BENCH_service.json). *)
+
+type tier = {
+  clients : int;
+  jobs : int;
+  completed : int;
+  errors : int;
+  duration : float;
+  jobs_per_sec : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+val run :
+  ?kernel:string ->
+  ?jobs_per_client:int ->
+  ?client_counts:int list ->
+  socket:string ->
+  unit ->
+  tier list
+(** Defaults: gzip kernel, 8 jobs per client, tiers of 1/4/16
+    clients. Kernel scales vary per request so most requests miss the
+    server cache. *)
+
+val to_json : ?label:string -> tier list -> string

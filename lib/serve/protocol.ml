@@ -1,0 +1,522 @@
+(* resimd wire protocol (DESIGN.md §16).
+
+   Frames: a 4-byte big-endian payload length followed by that many
+   bytes of UTF-8 JSON. One request per connection (client → server),
+   a stream of events back (server → client) ending in [Done],
+   [Rejected] or [Protocol_error].
+
+   Malformed input is a structured error in the RSM-T style, never an
+   exception: RSM-S001 oversized frame, RSM-S002 truncated frame (the
+   stream ended mid-frame), RSM-S003 payload is not JSON, RSM-S004
+   JSON with the wrong shape. *)
+
+module Json = Resim_core.Json
+module Config = Resim_core.Config
+
+type frame_error = { code : string; detail : string }
+
+let frame_error_to_string e = Printf.sprintf "%s: %s" e.code e.detail
+
+(* --- framing ------------------------------------------------------ *)
+
+let max_frame = 16 * 1024 * 1024
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Protocol.frame: %d bytes exceeds max" n);
+  let b = Buffer.create (n + 4) in
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let next_frame data ~offset =
+  let available = String.length data - offset in
+  if available < 4 then Ok None
+  else
+    let byte i = Char.code data.[offset + i] in
+    let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+    if n > max_frame then
+      Error
+        { code = "RSM-S001";
+          detail =
+            Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+              max_frame }
+    else if available - 4 < n then Ok None
+    else Ok (Some (String.sub data (offset + 4) n, offset + 4 + n))
+
+let finish data ~offset =
+  if offset = String.length data then Ok ()
+  else
+    Error
+      { code = "RSM-S002";
+        detail =
+          Printf.sprintf "stream ended mid-frame with %d trailing byte(s)"
+            (String.length data - offset) }
+
+(* --- requests ----------------------------------------------------- *)
+
+type config_spec = {
+  base : string;  (* "reference" | "fast" *)
+  width : int option;
+  rob : int option;
+  lsq : int option;
+  organization : string option;
+  scheduler : string option;
+}
+
+let reference_spec =
+  { base = "reference";
+    width = None;
+    rob = None;
+    lsq = None;
+    organization = None;
+    scheduler = None }
+
+(* Width implies the same derived front end the [resim vhdl] surface
+   uses, so a wire job at width N simulates the machine the rest of
+   the tooling calls "width N". *)
+let resolve_config spec =
+  let ( let* ) = Result.bind in
+  let* base =
+    match spec.base with
+    | "reference" -> Ok Config.reference
+    | "fast" -> Ok Config.fast_comparable
+    | other -> Error (Printf.sprintf "unknown base config %S" other)
+  in
+  let config =
+    match spec.width with
+    | None -> base
+    | Some width ->
+        { base with
+          Config.width;
+          ifq_entries = max width base.Config.ifq_entries;
+          decouple_entries = width;
+          alu_count = width;
+          mem_read_ports = max 1 ((width - 1) / 2);
+          mem_write_ports = 1;
+          organization =
+            (if width >= 3 then Config.Optimized else Config.Improved) }
+  in
+  let config =
+    match spec.rob with
+    | None -> config
+    | Some rob_entries -> { config with Config.rob_entries }
+  in
+  let config =
+    match spec.lsq with
+    | None -> config
+    | Some lsq_entries -> { config with Config.lsq_entries }
+  in
+  let* config =
+    match spec.organization with
+    | None -> Ok config
+    | Some "simple" -> Ok { config with Config.organization = Simple }
+    | Some "improved" -> Ok { config with Config.organization = Improved }
+    | Some "optimized" -> Ok { config with Config.organization = Optimized }
+    | Some other -> Error (Printf.sprintf "unknown organization %S" other)
+  in
+  match spec.scheduler with
+  | None -> Ok config
+  | Some "scan" -> Ok { config with Config.scheduler = Scan }
+  | Some "event" -> Ok { config with Config.scheduler = Event }
+  | Some other -> Error (Printf.sprintf "unknown scheduler %S" other)
+
+type sim_spec = {
+  kernel : string;
+  scale : int option;
+  trace : string option;  (* server-host path to an encoded trace *)
+  config : config_spec;
+  max_cycles : int64 option;
+  timeout : float option;
+  sample : string option;  (* detail:warmup[:seed] *)
+}
+
+type body =
+  | Simulate of sim_spec
+  | Sweep_grid of {
+      kernels : string list;
+      widths : int list;
+      config : config_spec;
+      max_cycles : int64 option;
+      timeout : float option;
+      sample : string option;
+    }
+  | Lint of { path : string; max_run : int option }
+  | Status
+  | Crash_worker  (* test hook: kills the worker domain that takes it *)
+
+type request = { client : string; body : body }
+
+let body_class = function
+  | Simulate _ | Crash_worker -> `Simulate
+  | Sweep_grid _ -> `Sweep
+  | Lint _ -> `Lint
+  | Status -> `Status
+
+(* --- events ------------------------------------------------------- *)
+
+type rejection =
+  | Over_quota
+  | Queue_full
+  | Shed_lint
+  | Shed_sweep
+  | Draining
+  | Bad_request of string
+
+let rejection_tag = function
+  | Over_quota -> "over-quota"
+  | Queue_full -> "queue-full"
+  | Shed_lint -> "shed-lint"
+  | Shed_sweep -> "shed-sweep"
+  | Draining -> "draining"
+  | Bad_request _ -> "bad-request"
+
+let rejection_to_string = function
+  | Bad_request detail -> Printf.sprintf "bad-request: %s" detail
+  | r -> rejection_tag r
+
+type done_payload = {
+  outcome : string;
+      (* ok | truncated | fault | deadlock | invalid-config | crash
+         | timed-out | lint-clean | lint-errors *)
+  exit_code : int;
+  cached : bool;
+  attempts : int;
+  detail : string option;
+  metrics : string option;     (* a complete JSON document, verbatim *)
+  checkpoint : string option;  (* RSCP text when truncated *)
+}
+
+type event =
+  | Accepted of { job_id : int }
+  | Rejected of rejection
+  | Progress of { completed : int; total : int; label : string }
+  | Done of done_payload
+  | Status_report of {
+      counters : (string * int) list;
+      queue : int;
+      running : int;
+      workers : int;
+      draining : bool;
+    }
+  | Protocol_error of frame_error
+
+(* --- encoding ----------------------------------------------------- *)
+
+let add_field b first name value =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  Json.add_string b name;
+  Buffer.add_char b ':';
+  Buffer.add_string b value
+
+let add_string_field b first name value =
+  add_field b first name (Json.quote value)
+
+let add_opt add b first name = function
+  | None -> ()
+  | Some value -> add b first name value
+
+let add_config_spec b spec =
+  let first = ref true in
+  Buffer.add_char b '{';
+  add_string_field b first "base" spec.base;
+  add_opt
+    (fun b f n v -> add_field b f n (string_of_int v))
+    b first "width" spec.width;
+  add_opt
+    (fun b f n v -> add_field b f n (string_of_int v))
+    b first "rob" spec.rob;
+  add_opt
+    (fun b f n v -> add_field b f n (string_of_int v))
+    b first "lsq" spec.lsq;
+  add_opt add_string_field b first "organization" spec.organization;
+  add_opt add_string_field b first "scheduler" spec.scheduler;
+  Buffer.add_char b '}'
+
+let add_sim_fields b first spec =
+  add_string_field b first "kernel" spec.kernel;
+  add_opt
+    (fun b f n v -> add_field b f n (string_of_int v))
+    b first "scale" spec.scale;
+  add_opt add_string_field b first "trace" spec.trace;
+  (if not !first then Buffer.add_char b ',');
+  first := false;
+  Json.add_string b "config";
+  Buffer.add_char b ':';
+  add_config_spec b spec.config;
+  add_opt
+    (fun b f n v -> add_field b f n (Int64.to_string v))
+    b first "max_cycles" spec.max_cycles;
+  add_opt
+    (fun b f n v -> add_field b f n (Printf.sprintf "%.6f" v))
+    b first "timeout" spec.timeout;
+  add_opt add_string_field b first "sample" spec.sample
+
+let encode_request { client; body } =
+  let b = Buffer.create 256 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  add_field b first "v" "1";
+  add_string_field b first "client" client;
+  (match body with
+  | Simulate spec ->
+      add_string_field b first "kind" "simulate";
+      add_sim_fields b first spec
+  | Sweep_grid { kernels; widths; config; max_cycles; timeout; sample } ->
+      add_string_field b first "kind" "sweep";
+      add_field b first "kernels"
+        ("[" ^ String.concat "," (List.map Json.quote kernels) ^ "]");
+      add_field b first "widths"
+        ("[" ^ String.concat "," (List.map string_of_int widths) ^ "]");
+      (if not !first then Buffer.add_char b ',');
+      Json.add_string b "config";
+      Buffer.add_char b ':';
+      add_config_spec b config;
+      add_opt
+        (fun b f n v -> add_field b f n (Int64.to_string v))
+        b first "max_cycles" max_cycles;
+      add_opt
+        (fun b f n v -> add_field b f n (Printf.sprintf "%.6f" v))
+        b first "timeout" timeout;
+      add_opt add_string_field b first "sample" sample
+  | Lint { path; max_run } ->
+      add_string_field b first "kind" "lint";
+      add_string_field b first "trace" path;
+      add_opt
+        (fun b f n v -> add_field b f n (string_of_int v))
+        b first "max_run" max_run
+  | Status -> add_string_field b first "kind" "status"
+  | Crash_worker -> add_string_field b first "kind" "crash-worker");
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_done payload =
+  let b = Buffer.create 256 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  add_string_field b first "event" "done";
+  add_string_field b first "outcome" payload.outcome;
+  add_field b first "exit" (string_of_int payload.exit_code);
+  add_field b first "cached" (string_of_bool payload.cached);
+  add_field b first "attempts" (string_of_int payload.attempts);
+  add_opt add_string_field b first "detail" payload.detail;
+  add_opt add_string_field b first "metrics" payload.metrics;
+  add_opt add_string_field b first "checkpoint" payload.checkpoint;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_event = function
+  | Accepted { job_id } ->
+      Printf.sprintf "{\"event\":\"accepted\",\"job\":%d}" job_id
+  | Rejected rejection ->
+      let b = Buffer.create 64 in
+      let first = ref true in
+      Buffer.add_char b '{';
+      add_string_field b first "event" "rejected";
+      add_string_field b first "reason" (rejection_tag rejection);
+      (match rejection with
+      | Bad_request detail -> add_string_field b first "detail" detail
+      | _ -> ());
+      Buffer.add_char b '}';
+      Buffer.contents b
+  | Progress { completed; total; label } ->
+      Printf.sprintf
+        "{\"event\":\"progress\",\"done\":%d,\"total\":%d,\"label\":%s}"
+        completed total (Json.quote label)
+  | Done payload -> encode_done payload
+  | Status_report { counters; queue; running; workers; draining } ->
+      let b = Buffer.create 128 in
+      let first = ref true in
+      Buffer.add_char b '{';
+      add_string_field b first "event" "status";
+      add_field b first "queue" (string_of_int queue);
+      add_field b first "running" (string_of_int running);
+      add_field b first "workers" (string_of_int workers);
+      add_field b first "draining" (string_of_bool draining);
+      add_field b first "counters"
+        ("{"
+        ^ String.concat ","
+            (List.map
+               (fun (name, v) ->
+                 Printf.sprintf "%s:%d" (Json.quote name) v)
+               counters)
+        ^ "}");
+      Buffer.add_char b '}';
+      Buffer.contents b
+  | Protocol_error { code; detail } ->
+      Printf.sprintf "{\"event\":\"error\",\"code\":%s,\"detail\":%s}"
+        (Json.quote code) (Json.quote detail)
+
+(* --- decoding ----------------------------------------------------- *)
+
+let bad_shape detail = Error { code = "RSM-S004"; detail }
+
+let parse_payload payload =
+  match Json.parse payload with
+  | Error detail -> Error { code = "RSM-S003"; detail }
+  | Ok (Json.Obj _ as value) -> Ok value
+  | Ok _ -> bad_shape "payload is not a JSON object"
+
+let str_member name value = Option.bind (Json.member name value) Json.string_value
+let int_member name value = Option.bind (Json.member name value) Json.int_value
+let bool_member name value = Option.bind (Json.member name value) Json.bool_value
+
+let int64_member name value =
+  Option.bind (Json.member name value) (fun v ->
+      Option.map Int64.of_int (Json.int_value v))
+
+let float_member name value =
+  Option.bind (Json.member name value) Json.number_value
+
+let require name = function
+  | Some v -> Ok v
+  | None -> bad_shape (Printf.sprintf "missing or mistyped field %S" name)
+
+let decode_config_spec value =
+  let ( let* ) = Result.bind in
+  match value with
+  | None -> Ok reference_spec
+  | Some (Json.Obj _ as v) ->
+      let* base = require "base" (str_member "base" v) in
+      Ok
+        { base;
+          width = int_member "width" v;
+          rob = int_member "rob" v;
+          lsq = int_member "lsq" v;
+          organization = str_member "organization" v;
+          scheduler = str_member "scheduler" v }
+  | Some _ -> bad_shape "config is not an object"
+
+let decode_sim_spec v =
+  let ( let* ) = Result.bind in
+  let* kernel = require "kernel" (str_member "kernel" v) in
+  let* config = decode_config_spec (Json.member "config" v) in
+  Ok
+    { kernel;
+      scale = int_member "scale" v;
+      trace = str_member "trace" v;
+      config;
+      max_cycles = int64_member "max_cycles" v;
+      timeout = float_member "timeout" v;
+      sample = str_member "sample" v }
+
+let string_list_member name v =
+  match Json.member name v with
+  | Some (Json.List items) ->
+      let strings = List.filter_map Json.string_value items in
+      if List.length strings = List.length items then Some strings else None
+  | _ -> None
+
+let int_list_member name v =
+  match Json.member name v with
+  | Some (Json.List items) ->
+      let ints = List.filter_map Json.int_value items in
+      if List.length ints = List.length items then Some ints else None
+  | _ -> None
+
+let decode_request payload =
+  let ( let* ) = Result.bind in
+  let* v = parse_payload payload in
+  let* client = require "client" (str_member "client" v) in
+  let* kind = require "kind" (str_member "kind" v) in
+  let* body =
+    match kind with
+    | "simulate" ->
+        let* spec = decode_sim_spec v in
+        Ok (Simulate spec)
+    | "sweep" ->
+        let* kernels = require "kernels" (string_list_member "kernels" v) in
+        let* widths = require "widths" (int_list_member "widths" v) in
+        let* config = decode_config_spec (Json.member "config" v) in
+        Ok
+          (Sweep_grid
+             { kernels;
+               widths;
+               config;
+               max_cycles = int64_member "max_cycles" v;
+               timeout = float_member "timeout" v;
+               sample = str_member "sample" v })
+    | "lint" ->
+        let* path = require "trace" (str_member "trace" v) in
+        Ok (Lint { path; max_run = int_member "max_run" v })
+    | "status" -> Ok Status
+    | "crash-worker" -> Ok Crash_worker
+    | other -> bad_shape (Printf.sprintf "unknown request kind %S" other)
+  in
+  Ok { client; body }
+
+let decode_done v =
+  let ( let* ) = Result.bind in
+  let* outcome = require "outcome" (str_member "outcome" v) in
+  let* exit_code = require "exit" (int_member "exit" v) in
+  let* cached = require "cached" (bool_member "cached" v) in
+  let* attempts = require "attempts" (int_member "attempts" v) in
+  Ok
+    { outcome;
+      exit_code;
+      cached;
+      attempts;
+      detail = str_member "detail" v;
+      metrics = str_member "metrics" v;
+      checkpoint = str_member "checkpoint" v }
+
+let decode_event payload =
+  let ( let* ) = Result.bind in
+  let* v = parse_payload payload in
+  let* event = require "event" (str_member "event" v) in
+  match event with
+  | "accepted" ->
+      let* job_id = require "job" (int_member "job" v) in
+      Ok (Accepted { job_id })
+  | "rejected" ->
+      let* reason = require "reason" (str_member "reason" v) in
+      let* rejection =
+        match reason with
+        | "over-quota" -> Ok Over_quota
+        | "queue-full" -> Ok Queue_full
+        | "shed-lint" -> Ok Shed_lint
+        | "shed-sweep" -> Ok Shed_sweep
+        | "draining" -> Ok Draining
+        | "bad-request" ->
+            Ok
+              (Bad_request
+                 (Option.value ~default:"" (str_member "detail" v)))
+        | other -> bad_shape (Printf.sprintf "unknown rejection %S" other)
+      in
+      Ok (Rejected rejection)
+  | "progress" ->
+      let* completed = require "done" (int_member "done" v) in
+      let* total = require "total" (int_member "total" v) in
+      let* label = require "label" (str_member "label" v) in
+      Ok (Progress { completed; total; label })
+  | "done" ->
+      let* payload = decode_done v in
+      Ok (Done payload)
+  | "status" ->
+      let* queue = require "queue" (int_member "queue" v) in
+      let* running = require "running" (int_member "running" v) in
+      let* workers = require "workers" (int_member "workers" v) in
+      let* draining = require "draining" (bool_member "draining" v) in
+      let* counters =
+        match Json.member "counters" v with
+        | Some (Resim_core.Json.Obj members) ->
+            let ints = List.filter_map
+                (fun (name, value) ->
+                  Option.map (fun n -> (name, n)) (Json.int_value value))
+                members
+            in
+            if List.length ints = List.length members then Ok ints
+            else bad_shape "non-integer counter"
+        | _ -> bad_shape "missing counters object"
+      in
+      Ok (Status_report { counters; queue; running; workers; draining })
+  | "error" ->
+      let* code = require "code" (str_member "code" v) in
+      let* detail = require "detail" (str_member "detail" v) in
+      Ok (Protocol_error { code; detail })
+  | other -> bad_shape (Printf.sprintf "unknown event %S" other)

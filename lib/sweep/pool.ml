@@ -16,7 +16,7 @@ type t = {
   mutex : Mutex.t;
   pending : Condition.t;
   mutable stopping : bool;
-  mutable stopped : bool;
+  down : bool Atomic.t;  (* set once by the winning shutdown call *)
   mutable workers : unit Domain.t array;
   jobs : int;
   prof : Resim_obs.Prof.t option;
@@ -59,7 +59,7 @@ let create ?prof ~jobs () =
       mutex = Mutex.create ();
       pending = Condition.create ();
       stopping = false;
-      stopped = false;
+      down = Atomic.make false;
       workers = [||];
       jobs;
       prof }
@@ -90,6 +90,12 @@ let submit pool f =
         task.state <- outcome;
         Condition.broadcast task.task_done)
   in
+  (* Lock-free rejection once shutdown has begun: a submit racing a
+     drain (the server calls [shutdown] from its signal-drain path)
+     must never block on [pool.mutex] only to learn the pool is gone —
+     and a submit that slips past this check still hits the guarded
+     [stopping] test below before the queue can accept it. *)
+  if Atomic.get pool.down then invalid_arg "Pool.submit: pool is shut down";
   Sync.with_lock pool.mutex (fun () ->
       if pool.stopping then invalid_arg "Pool.submit: pool is shut down";
       Queue.push thunk pool.queue;
@@ -110,19 +116,22 @@ let await task =
       wait ())
 
 let shutdown pool =
-  (* Flip the flags and collect the handles under the lock; join
+  (* Idempotent and safe concurrently with [submit] and with itself:
+     exactly one caller wins the CAS and performs the drain-and-join;
+     every other call — first or racing — returns immediately without
+     touching [pool.mutex], so the server's signal-drain path can call
+     this no matter what state the pool is in. The winner flips
+     [stopping] and collects the handles under the lock, then joins
      outside it (workers must be able to take the mutex to drain). *)
-  let to_join =
-    Sync.with_lock pool.mutex (fun () ->
-        if pool.stopped then [||]
-        else begin
+  if Atomic.compare_and_set pool.down false true then begin
+    let to_join =
+      Sync.with_lock pool.mutex (fun () ->
           pool.stopping <- true;
-          pool.stopped <- true;
           Condition.broadcast pool.pending;
-          pool.workers
-        end)
-  in
-  Array.iter Domain.join to_join
+          pool.workers)
+    in
+    Array.iter Domain.join to_join
+  end
 
 let with_pool ?prof ~jobs f =
   let pool = create ?prof ~jobs () in

@@ -23,7 +23,10 @@ type 'a task
 (** A future for one submitted thunk. *)
 
 val submit : t -> (unit -> 'a) -> 'a task
-(** Enqueue a thunk. Raises [Invalid_argument] after {!shutdown}. *)
+(** Enqueue a thunk. Raises [Invalid_argument] after {!shutdown} —
+    without blocking: once a shutdown has begun, rejection is decided
+    on a lock-free fast path, so a submit racing a drain never hangs
+    on the pool mutex. *)
 
 val await : 'a task -> 'a
 (** Block until the task completes; re-raises (with its backtrace) any
@@ -31,7 +34,11 @@ val await : 'a task -> 'a
 
 val shutdown : t -> unit
 (** Drain the queue, then join every worker. Pending tasks still run.
-    Idempotent from the owning domain. *)
+    Idempotent and safe to call concurrently — with another [shutdown]
+    or with in-flight {!submit}s: exactly one caller performs the
+    drain-and-join, every other call returns immediately without
+    taking the pool mutex (the server's signal-drain path depends on
+    this). *)
 
 val with_pool : ?prof:Resim_obs.Prof.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run the body, and {!shutdown} even on exceptions. *)

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Refresh BENCH_service.json: start a local resimd, run the load
+# generator at 1/4/16 clients, write the tier table into the repo
+# root, and drain the daemon. `make bench-service`.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+CLI="$ROOT/_build/default/bin/resim_cli.exe"
+TMP=$(mktemp -d)
+SOCK="$TMP/resimd.sock"
+trap 'rm -rf "$TMP"' EXIT
+
+if [ ! -x "$CLI" ]; then
+    (cd "$ROOT" && dune build bin/resim_cli.exe)
+fi
+
+timeout 800 "$CLI" serve --socket "$SOCK" --workers 4 > "$TMP/serve.out" 2>&1 &
+SERVE_PID=$!
+trap 'kill -TERM "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+tries=0
+until timeout 10 "$CLI" submit --socket "$SOCK" --status > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    [ "$tries" -ge 100 ] && { echo "daemon did not come up"; exit 1; }
+    sleep 0.1
+done
+
+timeout 700 "$CLI" loadgen --socket "$SOCK" --clients 1,4,16 --jobs 8 \
+    -o "$ROOT/BENCH_service.json"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "daemon did not drain cleanly"; exit 1; }
+echo "BENCH_service.json refreshed"

@@ -1,0 +1,141 @@
+#!/bin/sh
+# resimd smoke test, wired into `make check` (and available as
+# `make serve-smoke`): start the daemon, push a simulate, a sweep and
+# a bad-config job over the wire, check the documented exit codes,
+# check a resubmission is a cache hit, check the garbage-frame and
+# crashed-worker paths answer with typed errors instead of hangs, run
+# the load generator's CI tier, then SIGTERM the daemon and verify it
+# drains: exit 0, no stale socket, no orphan process. Everything under
+# `timeout`.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+CLI="$ROOT/_build/default/bin/resim_cli.exe"
+TMP=$(mktemp -d)
+SOCK="$TMP/resimd.sock"
+trap 'rm -rf "$TMP"' EXIT
+
+if [ ! -x "$CLI" ]; then
+    (cd "$ROOT" && dune build bin/resim_cli.exe)
+fi
+
+fail=0
+
+# --- daemon up -------------------------------------------------------
+timeout 600 "$CLI" serve --socket "$SOCK" --workers 2 --retries 1 \
+    --test-hooks --cache-dir "$TMP/cache" > "$TMP/serve.out" 2>&1 &
+SERVE_PID=$!
+
+tries=0
+until timeout 10 "$CLI" submit --socket "$SOCK" --status > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 100 ]; then
+        echo "FAIL serve: daemon did not come up"
+        cat "$TMP/serve.out"
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# --- simulate over the wire (exit 0) ---------------------------------
+if ! timeout 120 "$CLI" submit --socket "$SOCK" -k gzip -s 400 --quiet \
+    > "$TMP/sim.out" 2> /dev/null; then
+    echo "FAIL submit: clean simulate did not exit 0"
+    fail=1
+fi
+if ! grep -q '"ipc"' "$TMP/sim.out"; then
+    echo "FAIL submit: no metrics in the simulate reply"
+    fail=1
+fi
+
+# --- resubmission is a content-addressed cache hit -------------------
+timeout 120 "$CLI" submit --socket "$SOCK" -k gzip -s 400 --quiet \
+    > "$TMP/sim2.out" 2> /dev/null || fail=1
+if ! grep -q '\[cached\]' "$TMP/sim2.out"; then
+    echo "FAIL cache: resubmission was not served from the cache"
+    fail=1
+fi
+
+# --- sweep grid streams and completes (exit 0) -----------------------
+if ! timeout 300 "$CLI" submit --socket "$SOCK" --sweep --kernels gzip \
+    --widths 2,4 --quiet > "$TMP/sweep.out" 2> /dev/null; then
+    echo "FAIL submit: sweep grid did not exit 0"
+    fail=1
+fi
+if ! grep -q '"gzip/w2"' "$TMP/sweep.out"; then
+    echo "FAIL submit: sweep reply lacks per-job labels"
+    fail=1
+fi
+
+# --- bad config is a typed invalid-config (exit 2) -------------------
+timeout 120 "$CLI" submit --socket "$SOCK" -k gzip --base nope \
+    > /dev/null 2>&1 && rc=0 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "FAIL submit: bad config exited $rc, want 2"
+    fail=1
+fi
+
+# --- crashed worker: supervisor retries, then typed crash (exit 3) ---
+timeout 120 "$CLI" submit --socket "$SOCK" --crash-worker \
+    > /dev/null 2>&1 && rc=0 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL submit: crash-worker exited $rc, want 3"
+    fail=1
+fi
+
+# --- garbage frame: typed protocol error, daemon survives (exit 3) ---
+timeout 120 "$CLI" submit --socket "$SOCK" --send-garbage \
+    > /dev/null 2>&1 && rc=0 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL submit: garbage frame exited $rc, want 3"
+    fail=1
+fi
+
+# --- the queue still drains real work after the abuse ----------------
+if ! timeout 120 "$CLI" submit --socket "$SOCK" -k vpr -s 400 --quiet \
+    > /dev/null 2> /dev/null; then
+    echo "FAIL submit: daemon wedged after crash/garbage abuse"
+    fail=1
+fi
+
+# --- load generator CI tier ------------------------------------------
+if ! timeout 300 "$CLI" loadgen --socket "$SOCK" --quick \
+    -o "$TMP/bench_service.json" > /dev/null 2>&1; then
+    echo "FAIL loadgen: --quick run failed"
+    fail=1
+fi
+if ! grep -q '"jobs_per_sec"' "$TMP/bench_service.json"; then
+    echo "FAIL loadgen: no jobs_per_sec in the JSON report"
+    fail=1
+fi
+
+# --- SIGTERM drain: exit 0, socket unlinked, process gone ------------
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "FAIL serve: daemon did not exit 0 on SIGTERM"
+    fail=1
+fi
+if [ -e "$SOCK" ]; then
+    echo "FAIL serve: stale socket left after drain"
+    fail=1
+fi
+if kill -0 "$SERVE_PID" 2> /dev/null; then
+    echo "FAIL serve: daemon process survived SIGTERM"
+    fail=1
+fi
+
+# --- unreachable server is a typed refusal (exit 4) ------------------
+timeout 60 "$CLI" submit --socket "$SOCK" --status > /dev/null 2>&1 \
+    && rc=0 || rc=$?
+if [ "$rc" -ne 4 ]; then
+    echo "FAIL submit: dead server exited $rc, want 4"
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "serve smoke: OK (admission, cache, supervision, drain, exit codes)"
+else
+    echo "--- daemon log ---"
+    cat "$TMP/serve.out"
+fi
+exit "$fail"

@@ -16,6 +16,7 @@ let () =
          Test_workloads.suite;
          Test_reports.suite;
          Test_sweep.suite;
+         Test_serve.suite;
          Test_check.suite;
          Test_dsafe.suite;
          Test_fault.suite;
