@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check lint dsafe dsafe-smoke bench faultsmoke obs-smoke obs-guard sample-smoke spec-smoke serve-smoke bench-service
+.PHONY: all build test check lint dsafe dsafe-smoke bench faultsmoke obs-smoke obs-guard sample-smoke spec-smoke serve-smoke trace-smoke bench-service
 
 # Wall-clock guard on the PR gate: a hang in any step (the very class
 # of bug the robustness layer exists to prevent) fails the gate after
@@ -56,6 +56,7 @@ check:
 	$(MAKE) sample-smoke
 	$(MAKE) spec-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) trace-smoke
 
 # Every Fault_inject corruption class end to end through resim
 # faultgen / lint / simulate --degraded, each step under timeout.
@@ -84,6 +85,15 @@ spec-smoke: build
 # loadgen --quick, SIGTERM drain with no stale socket.
 serve-smoke: build
 	$(TIMEOUT) 900 sh scripts/serve_smoke.sh
+
+# The trace frontier end to end (DESIGN.md §17): foreign-format
+# adapters (text + riscv) through lint/simulate with synthesized
+# wrong-path blocks, streamed-vs-in-memory metrics identity (file,
+# streamed header, pipe), per-shard lint + sharded-vs-unsharded
+# identity, and a peak-RSS guard proving the streamed path stays
+# O(chunk) on a 2M-record trace.
+trace-smoke: build
+	$(TIMEOUT) 900 sh scripts/trace_smoke.sh
 
 # Refresh the committed service benchmark (BENCH_service.json):
 # jobs/sec and p50/p99 latency at 1/4/16 clients against a local

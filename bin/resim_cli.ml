@@ -112,19 +112,78 @@ let program_of ?source_file workload scale =
 
 (* --- tracegen ----------------------------------------------------- *)
 
-let tracegen workload scale source_file output compact =
+(* Streamed generation: the kernel trace cycles through a constant-
+   memory Encoder onto stdout until --limit records went out or the
+   reader hangs up — the producer half of the >RAM streaming pipeline
+   (DESIGN.md §17). *)
+let tracegen_stream ~format ~limit records =
+  if Array.length records = 0 then begin
+    Format.eprintf "tracegen: kernel produced no records@.";
+    exit 2
+  end;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  set_binary_mode_out stdout true;
+  let encoder = Resim_trace.Codec.Encoder.to_channel ~format stdout in
+  let quota () =
+    match limit with
+    | Some limit -> Resim_trace.Codec.Encoder.pushed encoder < limit
+    | None -> true
+  in
+  (try
+     while quota () do
+       Array.iter
+         (fun record ->
+           if quota () then Resim_trace.Codec.Encoder.push encoder record)
+         records
+     done;
+     Resim_trace.Codec.Encoder.close encoder
+   with Sys_error _ ->
+     (* EPIPE: the reader closed the pipe — the normal way an
+        unbounded stream ends. *)
+     ());
+  Format.eprintf "streamed %d record(s)@."
+    (Resim_trace.Codec.Encoder.pushed encoder)
+
+let tracegen workload scale source_file output compact stream limit
+    records_per_shard =
   let program = program_of ?source_file workload scale in
   let generated = Resim_tracegen.Generator.run program in
   let format =
     if compact then Resim_trace.Codec.Compact else Resim_trace.Codec.Fixed
   in
-  Resim_trace.Codec.write_file ~format output generated.records;
-  Format.printf
-    "wrote %s: %d records (%d correct, %d wrong-path), %.2f bits/instr@."
-    output
-    (Array.length generated.records)
-    generated.correct_path generated.wrong_path
-    (Resim_trace.Codec.bits_per_instruction ~format generated.records)
+  if stream then tracegen_stream ~format ~limit generated.records
+  else
+    match records_per_shard with
+    | Some per_shard when per_shard > 0 ->
+        let stem =
+          if Filename.check_suffix output Resim_trace.Codec.Shard.extension
+          then
+            Filename.chop_suffix output Resim_trace.Codec.Shard.extension
+          else output
+        in
+        let shards =
+          Resim_trace.Codec.Shard.write ~format ~records_per_shard:per_shard
+            ~stem generated.records
+        in
+        Format.printf
+          "wrote %d shard(s) %s .. %s: %d records (%d correct, %d \
+           wrong-path)@."
+          (List.length shards) (List.hd shards)
+          (List.nth shards (List.length shards - 1))
+          (Array.length generated.records)
+          generated.correct_path generated.wrong_path
+    | Some _ ->
+        Format.eprintf "tracegen: --records-per-shard must be positive@.";
+        exit 2
+    | None ->
+        Resim_trace.Codec.write_file ~format output generated.records;
+        Format.printf
+          "wrote %s: %d records (%d correct, %d wrong-path), %.2f \
+           bits/instr@."
+          output
+          (Array.length generated.records)
+          generated.correct_path generated.wrong_path
+          (Resim_trace.Codec.bits_per_instruction ~format generated.records)
 
 let tracegen_cmd =
   let output =
@@ -137,11 +196,39 @@ let tracegen_cmd =
       value & flag
       & info [ "compact" ] ~doc:"Use the delta-compressed encoding.")
   in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:"Write a streamed trace (header count $(b,-1)) to stdout \
+                in constant memory, cycling the kernel trace until \
+                $(b,--limit) records went out — or forever, until the \
+                reading end of the pipe closes. Pair with $(b,resim \
+                simulate --stream -t -) for traces larger than RAM.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Stop a $(b,--stream) run after $(docv) records \
+                (unbounded without it).")
+  in
+  let records_per_shard =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "records-per-shard" ] ~docv:"N"
+          ~doc:"Split the trace into $(b,STEM.0000.rtr), \
+                $(b,STEM.0001.rtr), … shards of at most $(docv) records \
+                each; any shard name or the bare stem opens the whole \
+                set in $(b,simulate)/$(b,lint).")
+  in
   Cmd.v
     (Cmd.info "tracegen" ~doc:"Generate a binary trace from a kernel")
     Term.(
       const tracegen $ kernel_arg $ scale_arg $ program_arg $ output
-      $ compact)
+      $ compact $ stream $ limit $ records_per_shard)
 
 (* --- faultgen ------------------------------------------------------ *)
 
@@ -253,10 +340,64 @@ let read_file_bytes path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Exit codes: 0 clean, 1 generic failure, 2 invalid configuration or
-   usage, 3 structured trace fault / deadlock (the diagnostic names the
-   RSM code and record offset). *)
+(* Exit codes: 0 clean, 1 generic failure (lint errors, malformed
+   foreign trace lines), 2 invalid configuration or usage (including a
+   missing or unreadable trace file, RSM-T009), 3 structured trace
+   fault / deadlock (the diagnostic names the RSM code and record
+   offset). *)
 let fault_exit = 3
+
+module Adapter = Resim_trace.Adapter
+module Stream = Resim_trace.Stream
+
+let adapter_format_conv =
+  let parse name =
+    match Adapter.format_of_string name with
+    | Some format -> Ok format
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown trace format %S (text|riscv)" name))
+  in
+  let print ppf format =
+    Format.pp_print_string ppf (Adapter.format_to_string format)
+  in
+  Arg.conv (parse, print)
+
+let adapter_format_arg =
+  Arg.(
+    value
+    & opt (some adapter_format_conv) None
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"The trace is a foreign line-oriented text trace, not an \
+              encoded RSTR stream: $(b,text) ($(i,PC op dst src1 src2) \
+              per line) or $(b,riscv) ($(i,PC INSN [mem ADDR]), \
+              uncompressed RV32/RV64). The adapter converts it to \
+              tagged records, synthesizing wrong-path blocks from our \
+              own branch predictor; malformed lines are RSM-A \
+              diagnostics with file:line:col (DESIGN.md §17).")
+
+(* How the trace reaches the engine: a fully materialized array (the
+   default; required by --sample and --resume, which need random
+   access / replay) or a constant-memory pull stream (--stream). *)
+type trace_input =
+  | Materialized of Resim_trace.Record.t array
+  | Pulled of (unit -> Resim_trace.Record.t option) * (unit -> unit)
+
+let report_open_error path (error : Resim_trace.Codec.error) =
+  Format.eprintf "%s: %s@." path
+    (Resim_trace.Codec.error_to_string error);
+  (* Host-level I/O problems are usage errors (exit 2); malformed
+     bytes are trace faults (exit 3). *)
+  if String.equal error.error_code "RSM-T009" then exit 2 else exit fault_exit
+
+let report_adapter_stats ~file adapter =
+  let stats = Adapter.stats adapter in
+  Format.printf
+    "adapted %s: %d line(s) -> %d instruction(s) + %d wrong-path \
+     record(s) in synthesized blocks (%d conditional mispredict(s))@."
+    file stats.Adapter.lines stats.instructions stats.wrong_path
+    stats.mispredicted
 
 (* Mirror of [Sample.splice_metrics]: inject the engine identity into
    the stats JSON object, so every metrics document says which engine
@@ -282,9 +423,10 @@ let splice_engine_identity ~variant stats_json =
       | Some name -> Resim_core.Json.quote name
       | None -> "null")
 
-let simulate workload scale source_file trace_file perfect_bp caches
-    max_cycles timeout checkpoint_out resume_file degraded pipetrace_out
-    waterfall_window metrics_out sample no_specialize =
+let simulate workload scale source_file trace_file trace_format stream
+    perfect_bp caches max_cycles timeout checkpoint_out resume_file
+    degraded pipetrace_out waterfall_window metrics_out sample
+    no_specialize =
   let sample_spec =
     match sample with
     | None -> None
@@ -310,26 +452,34 @@ let simulate workload scale source_file trace_file perfect_bp caches
           other;
         exit 2
   in
-  let records, salvage_faults =
+  if stream && trace_file = None then begin
+    Format.eprintf "--stream requires a trace source (--trace FILE or -)@.";
+    exit 2
+  end;
+  if trace_format <> None && trace_file = None then begin
+    Format.eprintf "--format requires a trace source (--trace FILE or -)@.";
+    exit 2
+  end;
+  if stream && sample_spec <> None then begin
+    Format.eprintf
+      "--sample does not combine with --stream (sampling needs the \
+       materialized trace)@.";
+    exit 2
+  end;
+  if stream && resume_file <> None then begin
+    Format.eprintf
+      "--resume does not combine with --stream (resume replays a \
+       materialized trace)@.";
+    exit 2
+  end;
+  if degraded_resync && (stream || trace_format <> None) then begin
+    Format.eprintf
+      "--degraded applies to in-memory encoded traces only (no --stream, \
+       no --format)@.";
+    exit 2
+  end;
+  let input, salvage_faults =
     match trace_file with
-    | Some path -> (
-        let data = read_file_bytes path in
-        if degraded_resync then
-          match Resim_trace.Codec.decode_degraded data with
-          | Error error ->
-              Format.eprintf "%s: %s@." path
-                (Resim_trace.Codec.error_to_string error);
-              exit fault_exit
-          | Ok (records, _format, faults) -> (records, faults)
-        else
-          match Resim_trace.Codec.decode_result data with
-          | Error error ->
-              Format.eprintf "%s: %s@." path
-                (Resim_trace.Codec.error_to_string error);
-              Format.eprintf
-                "(rerun with --degraded resync to skip damaged records)@.";
-              exit fault_exit
-          | Ok (records, _format) -> (records, []))
     | None ->
         if degraded_resync then begin
           Format.eprintf
@@ -337,7 +487,117 @@ let simulate workload scale source_file trace_file perfect_bp caches
           exit 2
         end;
         let program = program_of ?source_file workload scale in
-        (Resim_tracegen.Generator.records program, [])
+        (Materialized (Resim_tracegen.Generator.records program), [])
+    | Some path -> (
+        match trace_format with
+        | Some format ->
+            (* Foreign text trace: one-pass adapter either way. A
+               malformed line is a user-input problem (RSM-A, exit 1 on
+               the materialized path; on --stream it surfaces mid-run
+               as a trace fault). *)
+            let file = if String.equal path "-" then "<stdin>" else path in
+            let ic, owned =
+              if String.equal path "-" then (stdin, false)
+              else
+                match open_in_bin path with
+                | ic -> (ic, true)
+                | exception Sys_error reason ->
+                    Format.eprintf "%s: [RSM-T009] %s@." path reason;
+                    exit 2
+            in
+            let adapter = Adapter.of_channel ~format ~file ic in
+            if stream then
+              ( Pulled
+                  ( Adapter.pull_exn adapter,
+                    fun () ->
+                      report_adapter_stats ~file adapter;
+                      if owned then close_in_noerr ic ),
+                [] )
+            else begin
+              match Adapter.to_records_result adapter with
+              | Error error ->
+                  Format.eprintf "%s@." (Adapter.error_to_string error);
+                  exit 1
+              | Ok records ->
+                  report_adapter_stats ~file adapter;
+                  if owned then close_in_noerr ic;
+                  (Materialized records, [])
+            end
+        | None when stream ->
+            (* Encoded trace through the chunked cursor: O(chunk)
+               memory however large the file or pipe. *)
+            if String.equal path "-" then begin
+              set_binary_mode_in stdin true;
+              match Resim_trace.Codec.Cursor.of_channel_result stdin with
+              | Error error -> report_open_error "<stdin>" error
+              | Ok cursor ->
+                  let s = Stream.of_cursor ~source:"<stdin>" cursor in
+                  ( Pulled ((fun () -> Stream.next s), fun () -> Stream.close s),
+                    [] )
+            end
+            else begin
+              match Stream.open_path path with
+              | Error error -> report_open_error path error
+              | Ok s ->
+                  ( Pulled ((fun () -> Stream.next s), fun () -> Stream.close s),
+                    [] )
+            end
+        | None ->
+            if String.equal path "-" then begin
+              Format.eprintf
+                "--trace - (stdin) requires --stream or --format@.";
+              exit 2
+            end;
+            if degraded_resync then begin
+              let data =
+                match read_file_bytes path with
+                | data -> data
+                | exception Sys_error reason ->
+                    Format.eprintf "%s: [RSM-T009] %s@." path reason;
+                    exit 2
+              in
+              match Resim_trace.Codec.decode_degraded data with
+              | Error error ->
+                  Format.eprintf "%s: %s@." path
+                    (Resim_trace.Codec.error_to_string error);
+                  exit fault_exit
+              | Ok (records, _format, faults) ->
+                  (Materialized records, faults)
+            end
+            else begin
+              match Resim_trace.Codec.Shard.expand path with
+              | Some shards -> (
+                  (* A shard set: concatenate through the streaming
+                     cursor, materialized for --sample/--resume use. *)
+                  match Stream.open_sharded shards with
+                  | Error error -> report_open_error path error
+                  | Ok s -> (
+                      match Stream.to_array s with
+                      | records -> (Materialized records, [])
+                      | exception Resim_trace.Fault.Trace_fault fault ->
+                          Format.eprintf "%s: %s@." path
+                            (Resim_trace.Fault.to_string fault);
+                          exit fault_exit))
+              | None -> (
+                  match Resim_trace.Codec.read_file_result path with
+                  | Error error ->
+                      Format.eprintf "%s: %s@." path
+                        (Resim_trace.Codec.error_to_string error);
+                      if String.equal error.error_code "RSM-T009" then
+                        exit 2
+                      else begin
+                        Format.eprintf
+                          "(rerun with --degraded resync to skip damaged \
+                           records)@.";
+                        exit fault_exit
+                      end
+                  | Ok (records, _format) -> (Materialized records, []))
+            end)
+  in
+  let records =
+    (* The paths that need random access were guarded against --stream
+       above; [Pulled] only reaches the plain robust runner. *)
+    match input with Materialized records -> records | Pulled _ -> [||]
   in
   let config =
     let base = Resim_core.Config.reference in
@@ -538,20 +798,53 @@ let simulate workload scale source_file trace_file perfect_bp caches
           | Error failure -> fail failure
           | Ok (robust, report) -> conclude ~report robust)
       | None -> (
-          match
-            Resim_core.Resim.simulate_robust ~config ?max_cycles ?deadline
-              ?instrument records
-          with
-          | Error failure -> fail failure
-          | Ok robust -> conclude robust))
+          match input with
+          | Materialized records -> (
+              match
+                Resim_core.Resim.simulate_robust ~config ?max_cycles
+                  ?deadline ?instrument records
+              with
+              | Error failure -> fail failure
+              | Ok robust -> conclude robust)
+          | Pulled (pull, cleanup) -> (
+              (* Constant-memory path: the engine draws records on
+                 demand; the cleanup closes owned channels (and, for
+                 adapters, prints the adaptation stats). *)
+              let result =
+                Fun.protect ~finally:cleanup (fun () ->
+                    Resim_core.Resim.simulate_pull_robust ~config
+                      ?max_cycles ?deadline ?instrument pull)
+              in
+              match result with
+              | Error failure -> fail failure
+              | Ok robust -> conclude robust)))
 
 let simulate_cmd =
   let trace_file =
     Arg.(
       value
-      & opt (some file) None
+      & opt (some string) None
       & info [ "t"; "trace" ] ~docv:"FILE"
-          ~doc:"Simulate a trace file instead of a kernel.")
+          ~doc:"Simulate a trace file instead of a kernel: an encoded \
+                RSTR stream, a shard set (any shard name or the bare \
+                stem), a foreign text trace (with $(b,--format)), or \
+                $(b,-) for stdin (with $(b,--stream) or \
+                $(b,--format)). A missing or unreadable file exits 2 \
+                with an RSM-T009 diagnostic.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:"Pull the trace through the chunked streaming cursor \
+                instead of materializing it: O(chunk) host memory \
+                however large the trace, so multi-GB files, shard sets \
+                and unbounded pipes ($(b,tracegen --stream |)) \
+                simulate in constant memory. Statistics are \
+                bit-identical to the in-memory path; \
+                $(b,bits/instruction) reads 0 (the payload size is \
+                unknown mid-stream). Not combinable with \
+                $(b,--sample)/$(b,--resume)/$(b,--degraded).")
   in
   let perfect_bp =
     Arg.(value & flag & info [ "perfect-bp" ] ~doc:"Oracle predictor.")
@@ -650,9 +943,9 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the ReSim timing engine")
     Term.(
       const simulate $ kernel_arg $ scale_arg $ program_arg $ trace_file
-      $ perfect_bp $ caches $ max_cycles $ timeout $ checkpoint_out
-      $ resume_file $ degraded $ pipetrace $ waterfall $ metrics $ sample
-      $ no_specialize_arg)
+      $ adapter_format_arg $ stream $ perfect_bp $ caches $ max_cycles
+      $ timeout $ checkpoint_out $ resume_file $ degraded $ pipetrace
+      $ waterfall $ metrics $ sample $ no_specialize_arg)
 
 (* --- area ----------------------------------------------------------- *)
 
@@ -1169,7 +1462,7 @@ let bench_cmd =
 
 (* --- lint ------------------------------------------------------------ *)
 
-let lint trace_files max_run pipetrace =
+let lint trace_files max_run pipetrace foreign_format =
   let failed = ref false in
   let lint_binary path =
     let report = Check.Trace.lint_file ?max_wrong_path_run:max_run path in
@@ -1185,6 +1478,54 @@ let lint trace_files max_run pipetrace =
        | None -> "");
     diagnostics
   in
+  (* Foreign text traces lint through their adapter: the adapted
+     records run the same structural rules, and a malformed line is
+     its RSM-A diagnostic with file:line:col. *)
+  let lint_foreign format path =
+    let report_of file ic =
+      let adapter = Adapter.of_channel ~format ~file ic in
+      Check.Trace.lint_adapter ?max_wrong_path_run:max_run adapter
+    in
+    let report =
+      if String.equal path "-" then Ok (report_of "<stdin>" stdin)
+      else
+        match open_in_bin path with
+        | exception Sys_error reason -> Error reason
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> Ok (report_of path ic))
+    in
+    match report with
+    | Error reason ->
+        let diagnostics =
+          [ Check.Diagnostic.error ~code:"RSM-T009" ~subject:path reason ]
+        in
+        Format.printf "%s: %s@." path (Check.Diagnostic.summary diagnostics);
+        diagnostics
+    | Ok report ->
+        let diagnostics = report.Check.Trace.diagnostics in
+        Format.printf
+          "%s: %s (%d record(s), %d wrong-path in %d block(s), %s \
+           profile)@."
+          path
+          (Check.Diagnostic.summary diagnostics)
+          report.records_checked report.wrong_path_records
+          report.wrong_path_blocks
+          (Adapter.format_to_string format);
+        diagnostics
+  in
+  (* A path that is not a file on disk may name a shard set: lint every
+     shard. Explicit existing files are linted as given. *)
+  let expand path =
+    if pipetrace || foreign_format <> None || Sys.file_exists path then
+      [ path ]
+    else
+      match Resim_trace.Codec.Shard.expand path with
+      | Some shards -> shards
+      | None -> [ path ]
+  in
+  let trace_files = List.concat_map expand trace_files in
   let lint_pipetrace path =
     let report = Check.Obs.lint_file path in
     let diagnostics = report.Check.Obs.diagnostics in
@@ -1204,7 +1545,11 @@ let lint trace_files max_run pipetrace =
   List.iter
     (fun path ->
       let diagnostics =
-        if pipetrace then lint_pipetrace path else lint_binary path
+        if pipetrace then lint_pipetrace path
+        else
+          match foreign_format with
+          | Some format -> lint_foreign format path
+          | None -> lint_binary path
       in
       if diagnostics <> [] then
         Format.printf "%a@." Check.Diagnostic.pp_list diagnostics;
@@ -1215,8 +1560,13 @@ let lint trace_files max_run pipetrace =
 let lint_cmd =
   let traces =
     Arg.(
-      non_empty & pos_all file []
-      & info [] ~docv:"TRACE" ~doc:"Encoded trace file(s) to lint.")
+      non_empty & pos_all string []
+      & info [] ~docv:"TRACE"
+          ~doc:"Trace file(s) to lint: encoded RSTR streams, shard sets \
+                (any shard name or the bare stem), foreign text traces \
+                (with $(b,--format)), or $(b,-) for stdin (with \
+                $(b,--format)). A missing file is an RSM-T009 error, \
+                not a usage failure.")
   in
   let max_run =
     Arg.(
@@ -1237,10 +1587,11 @@ let lint_cmd =
   in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Statically lint encoded trace files (resim-check layer 2) \
-             or pipetrace JSONL streams (layer 4); exits 1 when any \
-             file has errors")
-    Term.(const lint $ traces $ max_run $ pipetrace)
+       ~doc:"Statically lint encoded trace files (resim-check layer 2), \
+             foreign text traces through their adapter ($(b,--format), \
+             RSM-A codes), or pipetrace JSONL streams (layer 4); exits \
+             1 when any file has errors")
+    Term.(const lint $ traces $ max_run $ pipetrace $ adapter_format_arg)
 
 (* --- workloads ------------------------------------------------------- *)
 

@@ -20,7 +20,7 @@ let () =
         let workload = Resim_workloads.Workload.find name in
         let program = Resim_workloads.Workload.program_of workload () in
         { System.name;
-          records = Resim_tracegen.Generator.records program;
+          feed = System.Records (Resim_tracegen.Generator.records program);
           config = Resim_core.Config.reference })
       core_workloads
   in

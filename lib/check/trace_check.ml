@@ -133,49 +133,86 @@ let lint_records ?(max_wrong_path_run = default_max_run) records =
   Array.iter (check_record st) records;
   finish st ~format:None
 
-let lint_string ?(max_wrong_path_run = default_max_run) data =
-  match Codec.Cursor.of_string_result data with
-  | Error { Codec.error_code = _; byte_offset; reason } ->
-      { diagnostics =
-          [ Diagnostic.error ~code:"RSM-T001" ~subject:"header"
-              ~hint:"regenerate the trace with resim tracegen"
-              (Printf.sprintf "malformed stream header at byte %d: %s"
-                 byte_offset reason) ];
-        records_checked = 0;
-        wrong_path_records = 0;
-        wrong_path_blocks = 0;
-        format = None }
-  | Ok cursor ->
-      let st = fresh_state ~max_run:max_wrong_path_run in
-      let stopped = ref false in
-      while (not !stopped) && Codec.Cursor.has_next cursor do
-        match Codec.Cursor.next_result cursor with
-        | Ok record -> check_record st record
-        | Error { Codec.error_code; byte_offset; reason } ->
-            (match error_code with
-            | "RSM-T002" ->
-                err st ~code:"RSM-T002" ~index:st.checked
-                  ~hint:"the file was truncated after encoding"
-                  "at byte %d: %s" byte_offset reason
-            | _ ->
-                err st ~code:error_code ~index:st.checked "at byte %d: %s"
-                  byte_offset reason);
-            stopped := true
-      done;
-      if (not !stopped) && Codec.Cursor.bits_remaining cursor >= 8 then begin
-        let index = st.checked in
-        warn st ~code:"RSM-T004" ~index
-          "%d trailing byte(s) after the last declared record"
-          (Codec.Cursor.bits_remaining cursor / 8)
-      end;
-      finish st ~format:(Some (Codec.Cursor.format cursor))
+let header_report { Codec.error_code; byte_offset; reason } =
+  { diagnostics =
+      [ Diagnostic.error ~code:error_code ~subject:"header"
+          ~hint:"regenerate the trace with resim tracegen"
+          (Printf.sprintf "unusable trace stream at byte %d: %s" byte_offset
+             reason) ];
+    records_checked = 0;
+    wrong_path_records = 0;
+    wrong_path_blocks = 0;
+    format = None }
 
-let lint_file ?max_wrong_path_run path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let data = really_input_string ic (in_channel_length ic) in
-      lint_string ?max_wrong_path_run data)
+(* The shared streaming loop: O(1) lint state over any cursor — whole
+   in-memory strings and chunked channel cursors alike, so multi-GB
+   files lint in constant memory. Byte offsets in diagnostics are
+   absolute file offsets on both paths. *)
+let lint_cursor ?(max_wrong_path_run = default_max_run) cursor =
+  let st = fresh_state ~max_run:max_wrong_path_run in
+  let stopped = ref false in
+  while (not !stopped) && Codec.Cursor.has_next cursor do
+    match Codec.Cursor.next_result cursor with
+    | Ok record -> check_record st record
+    | Error { Codec.error_code; byte_offset; reason } ->
+        (match error_code with
+        | "RSM-T002" ->
+            err st ~code:"RSM-T002" ~index:st.checked
+              ~hint:"the file was truncated after encoding"
+              "at byte %d: %s" byte_offset reason
+        | _ ->
+            err st ~code:error_code ~index:st.checked "at byte %d: %s"
+              byte_offset reason);
+        stopped := true
+  done;
+  (* Streamed traces declare no count: the loop above consumed every
+     whole byte, so a trailing-data check only applies to counted
+     streams. *)
+  if (not !stopped) && not (Codec.Cursor.streamed cursor) then begin
+    let trailing = Codec.Cursor.trailing_bytes cursor in
+    if trailing > 0 then
+      warn st ~code:"RSM-T004" ~index:st.checked
+        "%d trailing byte(s) after the last declared record" trailing
+  end;
+  finish st ~format:(Some (Codec.Cursor.format cursor))
+
+let lint_string ?max_wrong_path_run data =
+  match Codec.Cursor.of_string_result data with
+  | Error error -> header_report error
+  | Ok cursor -> lint_cursor ?max_wrong_path_run cursor
+
+let lint_file ?max_wrong_path_run ?chunk path =
+  match open_in_bin path with
+  | exception Sys_error reason ->
+      header_report { Codec.error_code = "RSM-T009"; byte_offset = 0; reason }
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Codec.Cursor.of_channel_result ?chunk ic with
+          | Error error -> header_report error
+          | Ok cursor -> lint_cursor ?max_wrong_path_run cursor)
+
+(* Lint a foreign-format trace through its adapter: adapted records run
+   the same tag-bit/payload rules, and a malformed line surfaces as its
+   RSM-A diagnostic with the file:line:col subject. Streaming — one
+   line of lookahead, O(1) lint state. *)
+let lint_adapter ?(max_wrong_path_run = default_max_run) adapter =
+  let st = fresh_state ~max_run:max_wrong_path_run in
+  let stopped = ref false in
+  while not !stopped do
+    match Resim_trace.Adapter.next_result adapter with
+    | Ok (Some record) -> check_record st record
+    | Ok None -> stopped := true
+    | Error error ->
+        st.out <-
+          Diagnostic.error ~code:error.Resim_trace.Adapter.code
+            ~subject:
+              (Printf.sprintf "%s:%d:%d" error.file error.line error.col)
+            error.reason
+          :: st.out;
+        stopped := true
+  done;
+  finish st ~format:None
 
 let clean report = report.diagnostics = []

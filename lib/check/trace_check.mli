@@ -39,9 +39,19 @@ val lint_string : ?max_wrong_path_run:int -> string -> report
 (** Full streaming lint of an encoded stream, header included. Never
     raises: decode failures become diagnostics. *)
 
-val lint_file : ?max_wrong_path_run:int -> string -> report
-(** [lint_string] over a file's contents. Raises [Sys_error] only when
-    the file cannot be read. *)
+val lint_cursor : ?max_wrong_path_run:int -> Resim_trace.Codec.Cursor.t -> report
+(** The shared streaming loop over any cursor — in-memory or chunked.
+    Byte offsets in diagnostics are absolute file offsets on both. *)
+
+val lint_file : ?max_wrong_path_run:int -> ?chunk:int -> string -> report
+(** Streaming lint through the chunked cursor: O([chunk]) memory
+    regardless of file size. Never raises — an unreadable file is an
+    RSM-T009 diagnostic. *)
+
+val lint_adapter : ?max_wrong_path_run:int -> Resim_trace.Adapter.t -> report
+(** Lint a foreign-format trace through its adapter: adapted records
+    run the same tag-bit/payload rules; a malformed line surfaces as
+    its RSM-A code with a [file:line:col] subject. *)
 
 val clean : report -> bool
 (** No diagnostics at all (not even warnings). *)

@@ -73,6 +73,43 @@ let simulate_robust ?(config = Config.reference) ?watchdog ?max_cycles
   | exception Resim_trace.Fault.Trace_fault fault -> Error (Fault fault)
   | exception Engine.Deadlock deadlock -> Error (Deadlock deadlock)
 
+(* Streaming robust entry: the engine pulls records on demand through a
+   [Source] window, so the trace never materialises — constant memory
+   for traces larger than RAM (pipes, chunked file cursors, foreign
+   adapters). The trace summary accumulates incrementally as records
+   stream past; [bits_per_instruction] needs the encoded payload and is
+   reported as 0 (unknown) on this path. *)
+let simulate_pull_robust ?(config = Config.reference) ?watchdog ?max_cycles
+    ?deadline ?instrument pull =
+  let summary = ref Resim_trace.Summary.zero in
+  let counted () =
+    match pull () with
+    | Some record ->
+        summary := Resim_trace.Summary.add !summary record;
+        Some record
+    | None -> None
+  in
+  match
+    let engine = Engine.create_from_source ~config (Source.of_pull counted) in
+    (match instrument with Some f -> f engine | None -> ());
+    let bounded = Engine.run_bounded ?watchdog ?max_cycles ?deadline engine in
+    { outcome =
+        { config;
+          stats = bounded.Engine.final;
+          trace_summary = !summary;
+          bits_per_instruction = 0.0;
+          icache_stats = Resim_cache.Cache.stats (Engine.icache engine);
+          dcache_stats = Resim_cache.Cache.stats (Engine.dcache engine) };
+      stop = bounded.Engine.stop;
+      resume =
+        Option.map
+          (Checkpoint.with_engine (engine_identity config))
+          bounded.Engine.resume }
+  with
+  | robust -> Ok robust
+  | exception Resim_trace.Fault.Trace_fault fault -> Error (Fault fault)
+  | exception Engine.Deadlock deadlock -> Error (Deadlock deadlock)
+
 let resume_trace ?(config = Config.reference) ~checkpoint records =
   let target = checkpoint.Checkpoint.cycle in
   (* Identity check first (RSM-K007): refusing a foreign-build handle

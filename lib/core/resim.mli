@@ -94,6 +94,23 @@ val simulate_robust :
     [deadline] are ignored. Trace faults and deadlocks it raises are
     still caught into [Error]. *)
 
+val simulate_pull_robust :
+  ?config:Config.t ->
+  ?watchdog:int ->
+  ?max_cycles:int64 ->
+  ?deadline:(unit -> bool) ->
+  ?instrument:(Engine.t -> unit) ->
+  (unit -> Resim_trace.Record.t option) ->
+  (robust, failure) result
+(** {!simulate_robust} over a pull stream instead of an array: the
+    engine draws records on demand through a {!Source} window, so the
+    trace never materialises — constant memory for traces larger than
+    RAM (chunked file cursors, pipes, foreign-format adapters). The
+    trace summary accumulates incrementally; [bits_per_instruction] is
+    0 on this path (the encoded payload size is unknown). A pull that
+    raises {!Resim_trace.Fault.Trace_fault} (truncated or corrupt
+    stream, malformed foreign line) comes back as [Error (Fault _)]. *)
+
 val resume_trace :
   ?config:Config.t ->
   checkpoint:Checkpoint.t ->

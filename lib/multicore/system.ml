@@ -1,6 +1,15 @@
+(* How a core's trace reaches its engine: a materialized array, or a
+   pull stream drawn through a [Source] window so a core can run a
+   trace larger than RAM (chunked file cursor, pipe, foreign adapter).
+   Every core gets a Source-backed engine either way — [Records] is
+   just the whole-array source. *)
+type feed =
+  | Records of Resim_trace.Record.t array
+  | Stream of (unit -> Resim_trace.Record.t option)
+
 type core_spec = {
   name : string;
-  records : Resim_trace.Record.t array;
+  feed : feed;
   config : Resim_core.Config.t;
 }
 
@@ -8,9 +17,15 @@ type core = {
   spec : core_spec;
   engine : Resim_core.Engine.t;
   mutable finished_at : int64 option;
+  mutable fault : Resim_trace.Fault.t option;
+      (* the core's stream died mid-run: it stopped, but did not drain *)
 }
 
 type t = { cores : core list; mutable clock : int64 }
+
+let source_of_feed = function
+  | Records records -> Resim_core.Source.of_array records
+  | Stream pull -> Resim_core.Source.of_pull pull
 
 let create specs =
   if specs = [] then invalid_arg "System.create: no cores";
@@ -32,8 +47,11 @@ let create specs =
     List.map
       (fun spec ->
         { spec;
-          engine = Resim_core.Engine.create ~config:spec.config spec.records;
-          finished_at = None })
+          engine =
+            Resim_core.Engine.create_from_source ~config:spec.config
+              (source_of_feed spec.feed);
+          finished_at = None;
+          fault = None })
       specs
   in
   { cores; clock = 0L }
@@ -49,23 +67,35 @@ let step t =
     (fun core ->
       match core.finished_at with
       | Some _ -> ()
-      | None ->
-          Resim_core.Engine.step core.engine;
-          if Resim_core.Engine.finished core.engine then
-            core.finished_at <- Some t.clock)
+      | None -> (
+          (* A stream fault kills this core only: it stops at the
+             current lockstep cycle with its prefix statistics, marked
+             not-drained, and the other cores keep running. *)
+          match Resim_core.Engine.step core.engine with
+          | () ->
+              if Resim_core.Engine.finished core.engine then
+                core.finished_at <- Some t.clock
+          | exception Resim_trace.Fault.Trace_fault fault ->
+              core.fault <- Some fault;
+              core.finished_at <- Some t.clock))
     t.cores
+
+let faulted t = List.exists (fun core -> core.fault <> None) t.cores
 
 let run ?(max_cycles = 1_000_000_000L) t =
   while (not (finished t)) && Int64.compare t.clock max_cycles < 0 do
     step t
   done;
-  if finished t then `Finished else `Truncated
+  (* A core whose stream died stopped without draining: that is a
+     truncated system run even though every core has stopped. *)
+  if finished t && not (faulted t) then `Finished else `Truncated
 
 type core_result = {
   core : string;
   stats : Resim_core.Stats.t;
   finished_at : int64;
   drained : bool;
+  fault : Resim_trace.Fault.t option;
 }
 
 let results t =
@@ -74,7 +104,8 @@ let results t =
       { core = core.spec.name;
         stats = Resim_core.Engine.stats core.engine;
         finished_at = Option.value core.finished_at ~default:t.clock;
-        drained = core.finished_at <> None })
+        drained = core.finished_at <> None && core.fault = None;
+        fault = core.fault })
     t.cores
 
 let elapsed_cycles t = t.clock

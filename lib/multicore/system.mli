@@ -10,9 +10,18 @@
     answers the sizing questions: does the system fit a device, and what
     aggregate simulation throughput does it reach? *)
 
+(** How a core's trace reaches its engine: a materialized array, or a
+    pull stream drawn through a [Source] window — so a core can run a
+    trace larger than RAM (chunked file cursor, pipe, foreign-format
+    adapter). A pull that raises {!Resim_trace.Fault.Trace_fault}
+    (truncated/corrupt stream) stops that core without draining it. *)
+type feed =
+  | Records of Resim_trace.Record.t array
+  | Stream of (unit -> Resim_trace.Record.t option)
+
 type core_spec = {
   name : string;
-  records : Resim_trace.Record.t array;
+  feed : feed;
   config : Resim_core.Config.t;
 }
 
@@ -31,17 +40,23 @@ val finished : t -> bool
 
 val run : ?max_cycles:int64 -> t -> [ `Finished | `Truncated ]
 (** Step until every core drains, or until [max_cycles] lockstep cycles
-    have elapsed. [`Truncated] means at least one core still had work
-    when the budget ran out — its statistics cover only the simulated
-    prefix, and {!results} marks it as not drained. *)
+    have elapsed. [`Truncated] means at least one core did not drain:
+    it still had work when the budget ran out, or its stream died with
+    a {!Resim_trace.Fault.Trace_fault} (a truncated trace is truncated,
+    never [`Finished]) — either way its statistics cover only the
+    simulated prefix, and {!results} marks it as not drained. *)
 
 type core_result = {
   core : string;
   stats : Resim_core.Stats.t;
   finished_at : int64;
-      (** lockstep cycle the core drained at; the current clock when the
-          run was truncated before the core drained *)
-  drained : bool;  (** false when the run stopped with work outstanding *)
+      (** lockstep cycle the core drained (or its stream died) at; the
+          current clock when the run was truncated before that *)
+  drained : bool;
+      (** false when the run stopped with work outstanding, or the
+          core's stream faulted mid-run *)
+  fault : Resim_trace.Fault.t option;
+      (** the stream fault that stopped this core, when there was one *)
 }
 
 val results : t -> core_result list

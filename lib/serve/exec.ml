@@ -85,24 +85,44 @@ let sim_job spec =
   let* sample = parse_sample spec.Protocol.sample in
   match spec.Protocol.trace with
   | Some path -> (
-      match
-        let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      with
-      | exception Sys_error message -> Error message
-      | data -> (
-          match Resim_trace.Codec.decode_result data with
-          | Error error ->
-              Error
-                (Printf.sprintf "%s: %s" path
-                   (Resim_trace.Codec.error_to_string error))
-          | Ok (records, _format) ->
+      (* Validate existence and header eagerly (typed invalid-config
+         instead of a mid-run fault), then hand the worker a stream
+         opener so the trace never materialises — exec runs traces
+         larger than RAM. Sampling still needs random access, so
+         sampled requests decode the whole file as before. *)
+      match Resim_trace.Stream.open_path path with
+      | Error error ->
+          Error
+            (Printf.sprintf "%s: %s" path
+               (Resim_trace.Codec.error_to_string error))
+      | Ok probe -> (
+          Resim_trace.Stream.close probe;
+          match sample with
+          | None ->
+              let open_stream () =
+                match Resim_trace.Stream.open_path path with
+                | Ok stream -> fun () -> Resim_trace.Stream.next stream
+                | Error { Resim_trace.Codec.error_code; byte_offset; reason }
+                  ->
+                    Resim_trace.Fault.fail ~code:error_code ~offset:0
+                      (Printf.sprintf "%s: byte %d: %s" path byte_offset
+                         reason)
+              in
               Ok
-                (Sweep.trace_job
+                (Sweep.stream_job
                    ~label:(Filename.basename path)
-                   ?timeout:spec.Protocol.timeout ?sample ~config records)))
+                   ?timeout:spec.Protocol.timeout ~config open_stream)
+          | Some _ -> (
+              match Resim_trace.Codec.read_file_result path with
+              | Error error ->
+                  Error
+                    (Printf.sprintf "%s: %s" path
+                       (Resim_trace.Codec.error_to_string error))
+              | Ok (records, _format) ->
+                  Ok
+                    (Sweep.trace_job
+                       ~label:(Filename.basename path)
+                       ?timeout:spec.Protocol.timeout ?sample ~config records))))
   | None -> (
       match Resim_workloads.Workload.find spec.Protocol.kernel with
       | exception Not_found ->
@@ -236,10 +256,20 @@ let run_sweep ~policy ~progress ~kernels ~widths ~config ~timeout ~sample =
           ()
 
 let run_lint ~path ~max_run =
-  match Resim_check.Check.Trace.lint_file ?max_wrong_path_run:max_run path with
-  | exception Sys_error message -> invalid message
-  | report ->
-      let diagnostics = report.Resim_check.Trace_check.diagnostics in
+  (* lint_file never raises now: host I/O failures come back as
+     RSM-T009 diagnostics. An unreadable file is still an invalid
+     request (exit 2), not a lint finding (exit 1). *)
+  let report =
+    Resim_check.Check.Trace.lint_file ?max_wrong_path_run:max_run path
+  in
+  let diagnostics = report.Resim_check.Trace_check.diagnostics in
+  match
+    List.find_opt
+      (fun d -> d.Resim_check.Diagnostic.code = "RSM-T009")
+      diagnostics
+  with
+  | Some d -> invalid d.Resim_check.Diagnostic.message
+  | None ->
       if Resim_check.Check.Diagnostic.has_errors diagnostics then
         payload ~outcome:"lint-errors" ~exit_code:1 ~attempts:1
           ~detail:

@@ -14,6 +14,8 @@ type job = {
   scale : scale;
   records : Resim_trace.Record.t array option;
       (* pre-built trace overriding kernel generation *)
+  stream : (unit -> unit -> Resim_trace.Record.t option) option;
+      (* opened on the worker domain; overrides [records] *)
   timeout : float option;  (* per-job wall-clock budget, seconds *)
   sample : Resim_sample.Sample.spec option;
       (* sampled simulation instead of a full detailed run *)
@@ -25,7 +27,8 @@ let job ?label ?(scale = Evaluation) ?timeout ?sample ~config workload =
     | Some label -> label
     | None -> Resim_workloads.Workload.name_of workload
   in
-  { label; workload; config; scale; records = None; timeout; sample }
+  { label; workload; config; scale; records = None; stream = None; timeout;
+    sample }
 
 let trace_job ?(label = "trace") ?timeout ?sample ~config records =
   { label;
@@ -35,8 +38,21 @@ let trace_job ?(label = "trace") ?timeout ?sample ~config records =
     config;
     scale = Exact (Array.length records);
     records = Some records;
+    stream = None;
     timeout;
     sample }
+
+let stream_job ?(label = "stream") ?timeout ~config open_stream =
+  { label;
+    workload = List.hd Resim_workloads.Workload.all;
+    config;
+    scale = Exact 0;
+    records = None;
+    stream = Some open_stream;
+    timeout;
+    (* Sampling needs random access into the trace; a one-pass pull
+       stream cannot provide it. *)
+    sample = None }
 
 let generator_config (config : Config.t) =
   { Resim_tracegen.Generator.predictor = config.predictor;
@@ -93,8 +109,44 @@ let acquire job =
       Resim_tracegen.Generator.run ~config:(generator_config job.config)
         (program_of job)
 
+(* A streamed job's trace never materialises; after the run, the
+   incremental summary stands in for generator metadata. *)
+let generated_of_summary (summary : Resim_trace.Summary.t) =
+  { Resim_tracegen.Generator.records = [||];
+    correct_path = summary.correct_path;
+    wrong_path = summary.wrong_path;
+    mispredicted_branches = 0;
+    executed_to_completion = true }
+
+let wrap_result ~job ~generated ~started ~sample_report outcome =
+  let wall_seconds = Unix.gettimeofday () -. started in
+  let committed = Int64.to_float (Stats.get Stats.committed outcome.Resim_core.Resim.stats) in
+  let host_mips =
+    if wall_seconds > 0.0 then committed /. wall_seconds /. 1e6 else 0.0
+  in
+  { job; generated; outcome; telemetry = { wall_seconds; host_mips };
+    sample_report }
+
+let run_stream_job ?instrument job open_stream =
+  let started = Unix.gettimeofday () in
+  match
+    Resim_core.Resim.simulate_pull_robust ~config:job.config ?instrument
+      (open_stream ())
+  with
+  | Stdlib.Error (Resim_core.Resim.Fault fault) ->
+      raise (Fault.Trace_fault fault)
+  | Stdlib.Error (Resim_core.Resim.Deadlock d) -> raise (Engine.Deadlock d)
+  | Stdlib.Ok robust ->
+      let outcome = robust.Resim_core.Resim.outcome in
+      wrap_result ~job
+        ~generated:(generated_of_summary outcome.trace_summary)
+        ~started ~sample_report:None outcome
+
 let run_job ?instrument job =
   validate_job job;
+  match job.stream with
+  | Some open_stream -> run_stream_job ?instrument job open_stream
+  | None ->
   let generated = acquire job in
   (* The wall-clock window opens after trace acquisition: host_mips is
      an engine-throughput figure, and generation (often the longer
@@ -199,7 +251,51 @@ let fault_of_diagnostic (d : Rcheck.Diagnostic.t) =
   in
   Fault.make ~code:d.code ~offset ~context:d.message
 
+(* Streamed jobs: open the pull stream on this (worker) domain — the
+   thunk captures only domain-safe values, typically a path — and let
+   the engine draw records through a Source window. There is no
+   up-front lint gate (a one-pass stream cannot be linted and then
+   simulated); the codec cursor's typed errors surface mid-run as
+   Trace_fault and land in [Failed (Fault _)], and a truncated stream
+   is exactly such a fault, never a silently short [Ok]. *)
+let attempt_stream ~policy ?instrument (job : job) open_stream : outcome =
+  let started = Unix.gettimeofday () in
+  let timeout =
+    match job.timeout with Some t -> Some t | None -> policy.timeout
+  in
+  let deadline =
+    Option.map
+      (fun seconds ->
+        let limit = started +. seconds in
+        fun () -> Unix.gettimeofday () > limit)
+      timeout
+  in
+  match
+    Resim_core.Resim.simulate_pull_robust ~config:job.config
+      ?watchdog:policy.watchdog ?max_cycles:policy.max_cycles ?deadline
+      ?instrument (open_stream ())
+  with
+  | Stdlib.Error (Resim_core.Resim.Fault fault) -> Failed (Fault fault)
+  | Stdlib.Error (Resim_core.Resim.Deadlock d) -> Failed (Deadlock d)
+  | Stdlib.Ok robust -> (
+      let outcome = robust.Resim_core.Resim.outcome in
+      let result =
+        wrap_result ~job
+          ~generated:(generated_of_summary outcome.trace_summary)
+          ~started ~sample_report:None outcome
+      in
+      match robust.Resim_core.Resim.stop with
+      | Engine.Drained -> Ok result
+      | Engine.Time_budget -> Timed_out result.telemetry.wall_seconds
+      | Engine.Cycle_budget | Engine.Commit_target -> (
+          match robust.Resim_core.Resim.resume with
+          | Some checkpoint -> Truncated (result, checkpoint)
+          | None -> Ok result))
+
 let attempt_unsafe ~policy ?instrument job : outcome =
+  match job.stream with
+  | Some open_stream -> attempt_stream ~policy ?instrument job open_stream
+  | None ->
   let generated = acquire job in
   (* Pre-built traces pass the resim-check lint gate first: the engine
      tolerates many protocol violations silently (orphan tags are

@@ -31,6 +31,9 @@ type job = {
   scale : scale;
   records : Resim_trace.Record.t array option;
       (** pre-built trace overriding kernel generation *)
+  stream : (unit -> unit -> Resim_trace.Record.t option) option;
+      (** a pull-stream opener, called once on the worker domain that
+          runs the job; overrides [records]. See {!stream_job}. *)
   timeout : float option;
       (** per-job wall-clock budget in seconds, overriding the policy *)
   sample : Resim_sample.Sample.spec option;
@@ -61,6 +64,22 @@ val trace_job :
     it through the resim-check trace lint before simulating, so
     protocol violations surface as structured {!Fault} failures with
     their RSM-T code rather than silently skewed statistics. *)
+
+val stream_job :
+  ?label:string ->
+  ?timeout:float ->
+  config:Resim_core.Config.t ->
+  (unit -> unit -> Resim_trace.Record.t option) ->
+  job
+(** A job over a pull stream: the opener runs once, on the worker
+    domain that executes the job, so it must capture only domain-safe
+    values (typically a file path — e.g.
+    [fun () -> Resim_trace.Stream.(next-of open_path path)]). The
+    engine draws records through a [Source] window, so a trace larger
+    than RAM sweeps in constant memory. There is no up-front lint
+    gate on this path: the codec's typed stream errors (truncation,
+    corruption — RSM-T codes) surface mid-run and land in
+    [Failed (Fault _)]. Sampling is unavailable (one-pass stream). *)
 
 val generator_config :
   Resim_core.Config.t -> Resim_tracegen.Generator.config

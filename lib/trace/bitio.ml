@@ -45,22 +45,83 @@ module Writer = struct
     else
       Buffer.contents w.buffer
       ^ String.make 1 (Char.chr ((w.acc lsl (8 - w.acc_bits)) land 0xff))
+
+  (* Streaming support: hand over the complete bytes accumulated so far
+     and reset the byte buffer, keeping the sub-byte remainder pending.
+     Unlike [contents] this never pads, so a producer can [drain]
+     between records indefinitely and the bit stream stays seamless. *)
+  let drain w =
+    let bytes = Buffer.contents w.buffer in
+    Buffer.clear w.buffer;
+    bytes
+
+  let buffered_bytes w = Buffer.length w.buffer
 end
 
 module Reader = struct
+  (* A reader is either a whole in-memory string ([refill = None]) or a
+     bounded sliding chunk over a larger stream: when the current chunk
+     is exhausted, [refill] produces the next one ("" = end of stream).
+     [base] is the absolute stream offset of [data.[0]], so byte
+     positions — and therefore every diagnostic derived from them — are
+     absolute regardless of chunking. *)
   type t = {
-    data : string;
+    mutable data : string;
     mutable byte : int;
     mutable bit : int;   (* bits already consumed of [data.[byte]] *)
-    mutable total : int;
+    mutable total : int; (* absolute bits consumed *)
+    mutable base : int;  (* absolute stream offset of [data.[0]] *)
+    refill : (unit -> string) option;
+    mutable eof : bool;  (* refill returned "" — the stream is over *)
   }
 
   exception Out_of_bits
 
-  let create data = { data; byte = 0; bit = 0; total = 0 }
+  let create data =
+    { data; byte = 0; bit = 0; total = 0; base = 0; refill = None;
+      eof = true }
+
+  let of_refill refill =
+    { data = ""; byte = 0; bit = 0; total = 0; base = 0;
+      refill = Some refill; eof = false }
+
+  (* Bits known to remain without asking the producer for more. *)
+  let buffered_bits r = ((r.base + String.length r.data) * 8) - r.total
+
+  (* Make at least [n] more bits available, pulling chunks as needed;
+     false once the stream cannot supply them. Fully consumed bytes are
+     dropped at each refill — the unread tail (including the partially
+     consumed current byte, when [bit] > 0) is retained in front of the
+     new chunk, so memory stays O(chunk + record) and positions stay
+     absolute via [base]. *)
+  let rec ensure_bits r n =
+    if buffered_bits r >= n then true
+    else
+      match r.refill with
+      | None -> false
+      | Some refill ->
+          if r.eof then false
+          else begin
+            let chunk = refill () in
+            if String.length chunk = 0 then begin
+              r.eof <- true;
+              false
+            end
+            else begin
+              let keep = String.length r.data - r.byte in
+              let tail =
+                if keep > 0 then String.sub r.data r.byte keep else ""
+              in
+              r.base <- r.base + r.byte;
+              r.data <- tail ^ chunk;
+              r.byte <- 0;
+              ensure_bits r n
+            end
+          end
 
   let get_bit r =
-    if r.byte >= String.length r.data then raise Out_of_bits;
+    if r.byte >= String.length r.data && not (ensure_bits r 1) then
+      raise Out_of_bits;
     let value = (Char.code r.data.[r.byte] lsr (7 - r.bit)) land 1 in
     if r.bit = 7 then begin
       r.bit <- 0;
@@ -82,15 +143,24 @@ module Reader = struct
 
   let bits_consumed r = r.total
 
-  let bits_remaining r = (String.length r.data * 8) - r.total
+  (* Bits known to remain without blocking on the producer: exact for
+     string readers, a lower bound mid-stream for chunked ones. *)
+  let bits_remaining r = buffered_bits r
 
-  (* The byte holding the next unread bit (= length when exhausted). *)
-  let byte_position r = r.byte
+  (* Whether at least [n] more bits exist, refilling as needed — the
+     end-of-stream test for streamed (count-free) traces and trailing
+     -byte checks. Never raises. *)
+  let has_bits r n = ensure_bits r n
+
+  (* The absolute stream offset of the byte holding the next unread bit
+     (= stream length so far when exhausted). *)
+  let byte_position r = r.base + r.byte
 
   let seek_byte r byte =
-    if byte < 0 || byte > String.length r.data then
+    let local = byte - r.base in
+    if local < 0 || local > String.length r.data then
       invalid_arg "Bitio.Reader.seek_byte: out of range";
-    r.byte <- byte;
+    r.byte <- local;
     r.bit <- 0;
     r.total <- byte * 8
 end

@@ -168,14 +168,23 @@ let payload_string ?(format = Fixed) records =
   Array.iter (encode_record format w state) records;
   (Bitio.Writer.contents w, Bitio.Writer.bit_length w)
 
-let encode ?(format = Fixed) records =
-  let payload, _bits = payload_string ~format records in
+(* A record count of -1 in the header marks a *streamed* trace: the
+   producer did not know the count up front (tracegen --stream, pipes),
+   and readers consume records until the payload runs dry. Any other
+   negative count is corruption. *)
+let streamed_count = -1L
+
+let header_string ~format ~count =
   let header = Buffer.create 16 in
   Buffer.add_string header magic;
   Buffer.add_uint8 header version;
   Buffer.add_uint8 header (format_code format);
-  Buffer.add_int64_be header (Int64.of_int (Array.length records));
-  Buffer.contents header ^ payload
+  Buffer.add_int64_be header (Int64.of_int count);
+  Buffer.contents header
+
+let encode ?(format = Fixed) records =
+  let payload, _bits = payload_string ~format records in
+  header_string ~format ~count:(Array.length records) ^ payload
 
 let header_length = 4 + 1 + 1 + 8
 
@@ -213,8 +222,10 @@ module Cursor = struct
         { error_code = "RSM-T001";
           byte_offset = 5;
           reason = Printf.sprintf "bad format code %d" (Char.code data.[5]) }
-    else if String.get_int64_be data 6 < 0L then
-      Some { error_code = "RSM-T001"; byte_offset = 6; reason = "bad count" }
+    else if
+      String.get_int64_be data 6 < 0L
+      && String.get_int64_be data 6 <> streamed_count
+    then Some { error_code = "RSM-T001"; byte_offset = 6; reason = "bad count" }
     else None
 
   let of_string_result data =
@@ -233,6 +244,39 @@ module Cursor = struct
             state = fresh_state ();
             decoded = 0 }
 
+  (* Chunked construction: parse the header from the channel, then hand
+     the payload to a refilling reader that holds O(chunk) bytes at a
+     time. Byte offsets in diagnostics stay absolute file offsets — the
+     reader tracks the stream base across refills. *)
+  let default_chunk = 64 * 1024
+
+  let of_channel_result ?(chunk = default_chunk) ic =
+    if chunk <= 0 then invalid_arg "Codec.Cursor.of_channel: chunk";
+    let header = Bytes.create header_length in
+    let got =
+      let rec fill at =
+        if at >= header_length then at
+        else
+          let n = input ic header at (header_length - at) in
+          if n = 0 then at else fill (at + n)
+      in
+      fill 0
+    in
+    match header_error (Bytes.sub_string header 0 got) with
+    | Some error -> Error error
+    | None ->
+        let refill () =
+          let buffer = Bytes.create chunk in
+          let n = input ic buffer 0 chunk in
+          Bytes.sub_string buffer 0 n
+        in
+        Ok
+          { reader = Bitio.Reader.of_refill refill;
+            format = format_of_code (Bytes.get_uint8 header 5);
+            count = Int64.to_int (Bytes.get_int64_be header 6);
+            state = fresh_state ();
+            decoded = 0 }
+
   let of_string data =
     match of_string_result data with
     | Ok cursor -> cursor
@@ -241,7 +285,17 @@ module Cursor = struct
   let format t = t.format
   let count t = t.count
   let decoded t = t.decoded
-  let has_next t = t.decoded < t.count
+
+  let streamed t = t.count < 0
+
+  (* Streamed cursors have no declared count: the next record exists as
+     long as a whole payload byte does. End-of-stream zero padding is at
+     most 7 bits, and no record is shorter than 8, so the test is exact
+     at a clean end of stream; a mid-record cut still surfaces from the
+     decoder as RSM-T002. *)
+  let has_next t =
+    if streamed t then Bitio.Reader.has_bits t.reader 8
+    else t.decoded < t.count
 
   (* Payload position of the byte holding the next unread bit, relative
      to the whole stream (header included) so diagnostics point into the
@@ -271,8 +325,14 @@ module Cursor = struct
             { error_code = "RSM-T002";
               byte_offset = at;
               reason =
-                Printf.sprintf "payload ends inside record %d of %d"
-                  t.decoded t.count }
+                (if streamed t then
+                   Printf.sprintf
+                     "stream ends inside record %d (streamed trace cut \
+                      mid-record)"
+                     t.decoded
+                 else
+                   Printf.sprintf "payload ends inside record %d of %d"
+                     t.decoded t.count) }
       | exception Corrupt reason ->
           Error
             { error_code = "RSM-T003";
@@ -280,6 +340,14 @@ module Cursor = struct
               reason = Printf.sprintf "undecodable record: %s" reason }
 
   let bits_remaining t = Bitio.Reader.bits_remaining t.reader
+
+  (* Whole bytes left after the declared records — refills once so the
+     check is also meaningful on chunked cursors. The byte count is the
+     buffered lower bound (exact for in-memory cursors). *)
+  let trailing_bytes t =
+    if Bitio.Reader.has_bits t.reader 8 then
+      Bitio.Reader.bits_remaining t.reader / 8
+    else 0
 
   (* Degraded-mode resync: scan forward byte-by-byte for a position from
      which a record (and, when enough payload remains, the record after
@@ -322,7 +390,15 @@ end
 let decode data =
   let cursor = Cursor.of_string data in
   let records =
-    try Array.init cursor.Cursor.count (fun _ -> Cursor.next cursor)
+    try
+      if Cursor.streamed cursor then begin
+        let out = ref [] in
+        while Cursor.has_next cursor do
+          out := Cursor.next cursor :: !out
+        done;
+        Array.of_list (List.rev !out)
+      end
+      else Array.init cursor.Cursor.count (fun _ -> Cursor.next cursor)
     with Bitio.Reader.Out_of_bits -> raise (Corrupt "truncated payload")
   in
   (records, cursor.Cursor.format)
@@ -393,10 +469,154 @@ let write_file ?format path records =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (encode ?format records))
 
+(* Host-level failures (missing file, permissions, a file shorter than
+   its own header claims) are part of the same typed-error surface as
+   malformed bytes: RSM-T009, byte offset 0, with the host's reason.
+   Nothing below here lets a raw [Sys_error]/[End_of_file] escape. *)
+let io_error reason = { error_code = "RSM-T009"; byte_offset = 0; reason }
+
+let with_file_in path f =
+  match open_in_bin path with
+  | exception Sys_error reason -> Error (io_error reason)
+  | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let read_file_result path =
+  with_file_in path (fun ic ->
+      match really_input_string ic (in_channel_length ic) with
+      | exception End_of_file ->
+          Error (io_error (path ^ ": file shrank while reading"))
+      | exception Sys_error reason -> Error (io_error reason)
+      | data -> decode_result data)
+
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let length = in_channel_length ic in
-      decode (really_input_string ic length))
+  match read_file_result path with
+  | Ok (records, format) -> (records, format)
+  | Error { reason; _ } -> raise (Corrupt reason)
+
+(* --- streaming encoder --------------------------------------------- *)
+
+(* Constant-memory encode to a channel: the header goes out first with
+   [streamed_count] (the producer does not know the total), then whole
+   bytes are drained to the channel as records accumulate. Only [close]
+   pads, so the byte stream is seamless at every drain point. *)
+module Encoder = struct
+  type t = {
+    writer : Bitio.Writer.t;
+    channel : out_channel;
+    format : format;
+    state : encoder_state;
+    flush_bytes : int;
+    mutable pushed : int;
+    mutable closed : bool;
+  }
+
+  let to_channel ?(format = Fixed) ?(flush_bytes = 64 * 1024) channel =
+    if flush_bytes <= 0 then invalid_arg "Codec.Encoder.to_channel: flush";
+    output_string channel
+      (header_string ~format ~count:(Int64.to_int streamed_count));
+    { writer = Bitio.Writer.create ();
+      channel;
+      format;
+      state = fresh_state ();
+      flush_bytes;
+      pushed = 0;
+      closed = false }
+
+  let push t record =
+    if t.closed then invalid_arg "Codec.Encoder.push: closed";
+    encode_record t.format t.writer t.state record;
+    t.pushed <- t.pushed + 1;
+    if Bitio.Writer.buffered_bytes t.writer >= t.flush_bytes then begin
+      output_string t.channel (Bitio.Writer.drain t.writer);
+      flush t.channel
+    end
+
+  let pushed t = t.pushed
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      output_string t.channel (Bitio.Writer.drain t.writer);
+      output_string t.channel (Bitio.Writer.contents t.writer);
+      flush t.channel
+    end
+end
+
+(* --- sharded trace files ------------------------------------------- *)
+
+(* Shard naming: [stem.NNNN.rtr], four zero-padded digits, indices
+   consecutive from 0. Each shard is a complete self-describing stream
+   (own header, own count, fresh delta state), so every shard lints and
+   decodes on its own and a concatenating cursor just chains them. *)
+module Shard = struct
+  let extension = ".rtr"
+
+  let path ~stem index = Printf.sprintf "%s.%04d%s" stem index extension
+
+  (* [stem_of "trace.0003.rtr"] = Some ("trace", 3). *)
+  let stem_of path =
+    if not (Filename.check_suffix path extension) then None
+    else
+      let base = Filename.chop_suffix path extension in
+      let n = String.length base in
+      if n < 5 || base.[n - 5] <> '.' then None
+      else
+        let digits = String.sub base (n - 4) 4 in
+        if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+          Some (String.sub base 0 (n - 5), int_of_string digits)
+        else None
+
+  (* Expand a user-supplied path to the shard set it names. Accepts any
+     shard of the set (the set always restarts at 0000) or the bare
+     stem; [None] when the path is neither shard-shaped nor a stem with
+     a 0000 shard next to it. *)
+  let expand candidate =
+    let from_stem stem =
+      let rec collect index acc =
+        let shard = path ~stem index in
+        if Sys.file_exists shard then collect (index + 1) (shard :: acc)
+        else List.rev acc
+      in
+      collect 0 []
+    in
+    let stem =
+      match stem_of candidate with
+      | Some (stem, _) -> Some stem
+      | None ->
+          if Sys.file_exists (path ~stem:candidate 0) then Some candidate
+          else None
+    in
+    match stem with
+    | None -> None
+    | Some stem -> ( match from_stem stem with [] -> None | p -> Some p)
+
+  let write ?format ~records_per_shard ~stem records =
+    if records_per_shard <= 0 then
+      invalid_arg "Codec.Shard.write: records_per_shard";
+    let total = Array.length records in
+    (* [records_per_shard] is a target, not an exact size: a shard never
+       ends inside a wrong-path block, so every shard starts with an
+       untagged record and lints clean on its own (the tag-bit protocol
+       requires a block to follow its mispredicted branch). *)
+    let rec cut index start acc =
+      if start >= total then List.rev acc
+      else begin
+        let stop = ref (min total (start + records_per_shard)) in
+        while !stop < total && records.(!stop).Record.wrong_path do
+          incr stop
+        done;
+        let slice = Array.sub records start (!stop - start) in
+        let shard_path = path ~stem index in
+        write_file ?format shard_path slice;
+        cut (index + 1) !stop (shard_path :: acc)
+      end
+    in
+    match cut 0 0 [] with
+    | [] ->
+        (* An empty trace still writes one (empty) shard, so the set
+           exists on disk and expands. *)
+        let shard_path = path ~stem 0 in
+        write_file ?format shard_path [||];
+        [ shard_path ]
+    | shards -> shards
+end

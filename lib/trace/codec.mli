@@ -9,7 +9,10 @@
       extension studied in the trace-bandwidth ablation.
 
     Every stream starts with a self-describing header (magic, version,
-    format, record count), so [decode] needs no side information. *)
+    format, record count), so [decode] needs no side information. A
+    record count of [-1] marks a *streamed* trace (producer did not know
+    the total — [tracegen --stream], pipes); readers consume records
+    until the payload runs dry. *)
 
 type format = Fixed | Compact
 
@@ -17,8 +20,10 @@ exception Corrupt of string
 (** Raised by [decode]/[read_file] on malformed input. *)
 
 type error = {
-  error_code : string;  (** RSM-T001/T002/T003 — the trace-lint code *)
-  byte_offset : int;    (** position in the stream, header included *)
+  error_code : string;
+      (** RSM-T001/T002/T003 — the trace-lint code; RSM-T009 for host
+          I/O failures (missing/unreadable file) *)
+  byte_offset : int;    (** absolute position in the stream, header included *)
   reason : string;
 }
 (** Structured decode failure: what went wrong, which rule it violates
@@ -30,6 +35,10 @@ val error_to_string : error -> string
 val header_length : int
 (** Bytes of self-describing header before the payload (magic, version,
     format, record count). *)
+
+val streamed_count : int64
+(** The header count sentinel ([-1L]) marking a streamed trace whose
+    record count was unknown to the producer. *)
 
 val encode : ?format:format -> Record.t array -> string
 (** Serialise; default format [Fixed]. *)
@@ -61,14 +70,33 @@ module Cursor : sig
   (** [of_string] with a structured error (code RSM-T001 and the byte
       offset of the offending header field) instead of an exception. *)
 
+  val default_chunk : int
+  (** Refill-buffer size [of_channel_result] uses by default (64 KiB). *)
+
+  val of_channel_result :
+    ?chunk:int -> in_channel -> (t, error) result
+  (** Chunked streaming cursor over a channel: holds O([chunk] + one
+      record) bytes regardless of stream length, so traces larger than
+      RAM decode in constant memory. Byte offsets in diagnostics remain
+      absolute file offsets across refills. The channel must stay open
+      for the cursor's lifetime and is not closed by the cursor. *)
+
   val format : t -> format
   val count : t -> int
-  (** Record count the header declares. *)
+  (** Record count the header declares; negative for streamed traces
+      (see {!streamed}). *)
 
   val decoded : t -> int
   (** Records decoded so far — the offset of the next record. *)
 
+  val streamed : t -> bool
+  (** Whether the header carried {!Codec.streamed_count}: no declared
+      count, records exist while payload bytes remain. *)
+
   val has_next : t -> bool
+  (** Counted cursors: whether fewer than [count] records were decoded.
+      Streamed cursors: whether at least one whole payload byte remains
+      (exact — end padding is under 8 bits and no record is shorter). *)
 
   val next : t -> Record.t
   (** Decode the next record. Raises {!Corrupt} on an undecodable
@@ -81,8 +109,8 @@ module Cursor : sig
       decoding stopped. Nothing escapes. *)
 
   val byte_offset : t -> int
-  (** Stream offset (header included) of the byte holding the next
-      unread bit. *)
+  (** Absolute stream offset (header included) of the byte holding the
+      next unread bit — a file offset even on chunked cursors. *)
 
   val resync : t -> int option
   (** Skip forward to the next byte boundary from which a record (and
@@ -93,6 +121,69 @@ module Cursor : sig
       semantically wrong — mark the run degraded. *)
 
   val bits_remaining : t -> int
+  (** Bits buffered but not yet decoded: exact for in-memory cursors, a
+      lower bound mid-stream for chunked ones. *)
+
+  val trailing_bytes : t -> int
+  (** Whole bytes left beyond the declared records (refills once, so it
+      is meaningful on chunked cursors too) — the linter's trailing-data
+      check. *)
+end
+
+(** Constant-memory streaming encode to a channel: the header goes out
+    first with {!streamed_count}, then complete bytes are drained as
+    records are pushed; only {!Encoder.close} pads the final byte. *)
+module Encoder : sig
+  type t
+
+  val to_channel : ?format:format -> ?flush_bytes:int -> out_channel -> t
+  (** Writes the streamed header immediately. [flush_bytes] bounds the
+      internal buffer (default 64 KiB). The channel is flushed at every
+      drain but never closed by the encoder. *)
+
+  val push : t -> Record.t -> unit
+  (** Append one record. Raises [Invalid_argument] after {!close}. *)
+
+  val pushed : t -> int
+  (** Records pushed so far. *)
+
+  val close : t -> unit
+  (** Drain remaining bytes, pad the final partial byte and flush.
+      Idempotent. *)
+end
+
+(** Sharded trace files: [stem.NNNN.rtr] with consecutive indices from
+    0000. Each shard is a complete self-describing stream (own header,
+    own count, fresh delta state), so shards decode and lint on their
+    own and a concatenating cursor chains them. *)
+module Shard : sig
+  val extension : string
+  (** [".rtr"] *)
+
+  val path : stem:string -> int -> string
+  (** [path ~stem:"trace" 3] is ["trace.0003.rtr"]. *)
+
+  val stem_of : string -> (string * int) option
+  (** [stem_of "trace.0003.rtr"] is [Some ("trace", 3)]; [None] for
+      non-shard-shaped paths. *)
+
+  val expand : string -> string list option
+  (** Expand a user-supplied path — any shard of a set, or a bare stem —
+      to the full ordered shard list found on disk. [None] when the path
+      names no shard set. *)
+
+  val write :
+    ?format:format ->
+    records_per_shard:int ->
+    stem:string ->
+    Record.t array ->
+    string list
+  (** Split a trace into shards of about [records_per_shard] records
+      (at least one shard, even for an empty trace) and write them;
+      returns the shard paths in order. A shard never ends inside a
+      wrong-path block — the cut point slides forward to the block
+      boundary — so every shard starts untagged and lints clean on its
+      own. *)
 end
 
 val encoded_bits : ?format:format -> Record.t array -> int
@@ -103,4 +194,12 @@ val bits_per_instruction : ?format:format -> Record.t array -> float
 (** [encoded_bits / Array.length records]; 0 for an empty trace. *)
 
 val write_file : ?format:format -> string -> Record.t array -> unit
+
 val read_file : string -> Record.t array * format
+(** Raises {!Corrupt} on malformed bytes or host I/O failure — a typed
+    wrapper over {!read_file_result}, never a raw [Sys_error]. *)
+
+val read_file_result : string -> (Record.t array * format, error) result
+(** [read_file] with structured errors: host-level failures (missing or
+    unreadable file, short read) surface as RSM-T009, malformed bytes as
+    the usual RSM-T001..T003 with absolute byte offsets. *)

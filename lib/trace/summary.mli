@@ -13,6 +13,13 @@ type t = {
   divides : int;
 }
 
+val zero : t
+
+val add : t -> Record.t -> t
+(** Incremental fold step — how streaming consumers (pull-based
+    engines, linters) accumulate a summary without materialising the
+    trace. [of_records] is [fold_left add zero]. *)
+
 val of_records : Record.t array -> t
 
 val wrong_path_fraction : t -> float

@@ -121,7 +121,7 @@ let spec_of name scale =
   let workload = Resim_workloads.Workload.find name in
   let program = Resim_workloads.Workload.program_of workload ~scale () in
   { Resim_multicore.System.name;
-    records = Resim_tracegen.Generator.records program;
+    feed = Resim_multicore.System.Records (Resim_tracegen.Generator.records program);
     config = Resim_core.Config.reference }
 
 let test_multicore_lockstep_equals_standalone () =
@@ -133,7 +133,10 @@ let test_multicore_lockstep_equals_standalone () =
     (fun (spec : Resim_multicore.System.core_spec)
          (result : Resim_multicore.System.core_result) ->
       let standalone =
-        Resim_core.Engine.simulate ~config:spec.config spec.records
+        match spec.feed with
+        | Resim_multicore.System.Records records ->
+            Resim_core.Engine.simulate ~config:spec.config records
+        | Resim_multicore.System.Stream _ -> assert false
       in
       check i64
         (spec.name ^ " cycles match standalone")

@@ -23,5 +23,6 @@ let () =
          Test_sample.suite;
          Test_spec.suite;
          Test_extensions.suite;
+         Test_frontier.suite;
          Test_consistency.suite;
          Test_tools.suite ])

@@ -502,6 +502,8 @@ let test_cli_exit_codes () =
   check bool ("CLI binary present at " ^ cli) true (Sys.file_exists cli);
   let corrupt_trace = write_tmp ".trace" "this is not a trace\n" in
   let bad_checkpoint = write_tmp ".rscp" "RSCP 1\ncycle 0x10\ncursor 2\n" in
+  let good_text = write_tmp ".trc" "1000 0 1 2 3\n1004 0 2 1 1\n1000 0 1 2 3\n" in
+  let bad_text = write_tmp ".trc" "1000 0 1 2 3\n1004 9 1 2 3\n" in
   let cases =
     [ ("clean simulate", "simulate -k gzip -s 200", 0);
       ("sampled simulate", "simulate -k gzip -s 2000 --sample 50:450:3", 0);
@@ -522,12 +524,34 @@ let test_cli_exit_codes () =
         1 );
       ( "trace fault",
         Printf.sprintf "simulate -t %s" (Filename.quote corrupt_trace),
-        3 ) ]
+        3 );
+      (* the trace-frontier surface: missing files are a typed exit-2
+         usage error, malformed foreign input a typed exit-1, clean
+         foreign and streamed runs exit 0 *)
+      ("missing trace file", "simulate -t /nonexistent/no-such.rtr", 2);
+      ("missing foreign file", "simulate -t /nonexistent/no.trc --format text", 2);
+      ( "clean foreign text",
+        Printf.sprintf "simulate -t %s --format text" (Filename.quote good_text),
+        0 );
+      ( "clean foreign text streamed",
+        Printf.sprintf "simulate -t %s --format text --stream"
+          (Filename.quote good_text),
+        0 );
+      ( "malformed foreign line",
+        Printf.sprintf "simulate -t %s --format text" (Filename.quote bad_text),
+        1 );
+      ( "malformed foreign lint",
+        Printf.sprintf "lint %s --format text" (Filename.quote bad_text),
+        1 );
+      ("stream + sample refused", "simulate -k gzip --stream --sample 50:450", 2);
+      ("stream without trace", "simulate -k gzip --stream", 2) ]
   in
   Fun.protect
     ~finally:(fun () ->
       Sys.remove corrupt_trace;
-      Sys.remove bad_checkpoint)
+      Sys.remove bad_checkpoint;
+      Sys.remove good_text;
+      Sys.remove bad_text)
     (fun () ->
       List.iter
         (fun (label, args, expected) ->
